@@ -1,0 +1,14 @@
+"""Extension: MultiLogVC vs edge-centric GridGraph (paper SS IX)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import ext_gridgraph
+
+
+def test_ext_gridgraph(benchmark, print_result):
+    result = run_once(benchmark, ext_gridgraph.run)
+    print_result(result)
+    by = {row[0]: row[1] for row in result.rows}
+    # Non-mergeable workloads must be rejected by the edge-centric engine.
+    assert all(v == "unsupported" for k, v in by.items() if "non-mergeable" in k)
+    # Sparse frontier: MultiLogVC at parity or better.
+    assert by["bfs (sparse frontier)"] > 0.8

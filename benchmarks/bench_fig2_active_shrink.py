@@ -1,0 +1,11 @@
+"""Paper Fig. 2: active vertices/edges shrink over supersteps."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig2_active
+
+
+def test_fig2_active_shrink(benchmark, print_result):
+    result = run_once(benchmark, fig2_active.run)
+    print_result(result)
+    fracs = [row[3] for row in result.rows]
+    assert fracs[0] > fracs[-1], "active fraction must shrink"

@@ -1,0 +1,10 @@
+"""Paper Fig. 3: accessed pages with <10% utilization, per app."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig3_utilization
+
+
+def test_fig3_page_utilization(benchmark, print_result):
+    result = run_once(benchmark, fig3_utilization.run)
+    print_result(result)
+    assert any(row[3] > 0 for row in result.rows), "some inefficient pages expected"

@@ -1,0 +1,14 @@
+"""Paper Fig. 5a/5b/5c: BFS speedup, page ratio and time split vs traversal."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig5_bfs
+
+
+def test_fig5_bfs_traversal_sweep(benchmark, print_result):
+    result = run_once(benchmark, fig5_bfs.run)
+    print_result(result)
+    speedups = [row[2] for row in result.rows]
+    ratios = [row[3] for row in result.rows]
+    assert all(s > 1.0 for s in speedups), "MultiLogVC must beat GraphChi on BFS"
+    assert speedups[0] >= speedups[-1], "speedup declines with traversal demand"
+    assert all(r > 1.0 for r in ratios)

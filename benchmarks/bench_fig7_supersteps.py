@@ -1,0 +1,16 @@
+"""Paper Fig. 7a-d: per-superstep speedup series."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig7_supersteps
+
+
+def test_fig7_per_superstep(benchmark, print_result):
+    result = run_once(benchmark, fig7_supersteps.run)
+    print_result(result)
+    # Late supersteps must favour MultiLogVC more than early ones for
+    # at least one converging app per dataset.
+    by_key = {}
+    for app, ds, step, _f, s, _a in result.rows:
+        by_key.setdefault((app, ds), []).append(s)
+    improving = sum(1 for series in by_key.values() if series[-1] > series[0])
+    assert improving >= len(by_key) / 2

@@ -1,0 +1,12 @@
+"""Paper Fig. 9: edge-log inefficient-page prediction accuracy."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig9_prediction
+
+
+def test_fig9_prediction_accuracy(benchmark, print_result):
+    result = run_once(benchmark, fig9_prediction.run)
+    print_result(result)
+    for row in result.rows:
+        assert 0.0 <= row[5] <= 1.0
+    assert any(row[5] > 0 for row in result.rows), "predictor must avoid some pages"

@@ -1,0 +1,10 @@
+"""Paper Table I: dataset construction benchmark + table."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import table1_datasets
+
+
+def test_table1_datasets(benchmark, print_result):
+    result = run_once(benchmark, table1_datasets.run)
+    print_result(result)
+    assert len(result.rows) == 4

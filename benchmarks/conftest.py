@@ -1,0 +1,36 @@
+"""Benchmark harness configuration.
+
+Each ``bench_*.py`` file regenerates one paper table/figure (see
+DESIGN.md §4): it runs the corresponding ``repro.experiments`` module,
+prints the paper-style table to stdout, and registers the run with
+pytest-benchmark (single round -- these are macro-benchmarks of the
+simulator, not micro-benchmarks).
+
+Throttle with environment variables:
+
+* ``REPRO_SCALE=test|bench|large``  (default bench)
+* ``REPRO_DATASETS=cf`` or ``cf,yws`` (default both)
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    result = benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+    return result
+
+
+@pytest.fixture
+def print_result(capsys):
+    """Print an ExperimentResult table so it survives pytest capture."""
+
+    def _print(result):
+        with capsys.disabled():
+            print()
+            print(result.render())
+            print()
+
+    return _print

@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Community detection on a social-network graph, engine vs engine.
+
+The workload from the paper's Algorithm 2: label-propagation community
+detection, which needs every update delivered individually (no combine)
+-- the class of algorithm MultiLogVC supports and single-log systems
+with merging cannot run.  We run it on MultiLogVC and on the GraphChi
+baseline, verify they agree, and compare their storage traffic.
+
+Run:  python examples/social_community_detection.py
+"""
+
+import numpy as np
+
+from repro import DEFAULT_CONFIG, GraphChi, MultiLogVC, speedup
+from repro.algorithms import CommunityDetectionProgram
+from repro.graph.datasets import cf_like
+from repro.metrics import render_series, render_table
+
+
+def main() -> None:
+    graph = cf_like("test")
+    print(f"social graph: {graph.n} vertices, {graph.m} edges")
+
+    mlvc = MultiLogVC(graph, CommunityDetectionProgram(), DEFAULT_CONFIG).run(15)
+    gchi = GraphChi(graph, CommunityDetectionProgram(), DEFAULT_CONFIG).run(15)
+
+    assert np.array_equal(mlvc.values, gchi.values), "engines must agree"
+    communities = np.unique(mlvc.values)
+    print(f"found {communities.shape[0]} communities in {mlvc.n_supersteps} supersteps")
+    sizes = np.sort(np.bincount(mlvc.values.astype(np.int64), minlength=graph.n))[::-1]
+    print(f"largest communities: {sizes[:5].tolist()}")
+
+    print()
+    print(
+        render_table(
+            ["engine", "sim time (ms)", "pages read", "pages written", "storage %"],
+            [
+                (r.engine, r.total_time_us / 1e3, r.pages_read, r.pages_written,
+                 100 * r.storage_fraction())
+                for r in (mlvc, gchi)
+            ],
+            caption="Community detection: MultiLogVC vs GraphChi",
+        )
+    )
+    print(f"\nspeedup (GraphChi time / MultiLogVC time): {speedup(gchi, mlvc):.2f}x")
+
+    # The paper's key effect: the active set collapses, and MultiLogVC's
+    # per-superstep cost collapses with it while GraphChi keeps sweeping
+    # shards.
+    print()
+    print(
+        render_series(
+            "superstep",
+            "active vertices",
+            list(range(mlvc.n_supersteps)),
+            mlvc.activity_trace().tolist(),
+            caption="Shrinking active set (paper Fig. 2 effect)",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+"""MultiLogVC reproduction: out-of-core graph processing for flash storage.
+
+Reproduces Matam, Hashemi & Annavaram, *MultiLogVC: Efficient
+Out-of-Core Graph Processing Framework for Flash Storage* (IPDPS 2021)
+as a Python library on a deterministic simulated-SSD substrate.
+
+Quickstart::
+
+    from repro import MultiLogVC, GraphChi
+    from repro.graph.datasets import cf_like
+    from repro.algorithms import DeltaPageRankProgram
+
+    graph = cf_like("test")
+    result = MultiLogVC(graph, DeltaPageRankProgram()).run(max_supersteps=15)
+    print(result.summary())
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every table and figure.
+"""
+
+from .config import DEFAULT_CONFIG, SimConfig, small_test_config
+from .core import (
+    InitialState,
+    MultiLogVC,
+    RunResult,
+    SuperstepRecord,
+    UpdateBatch,
+    VertexContext,
+    VertexProgram,
+    speedup,
+)
+from .baselines import GraFBoost, GraphChi
+from .errors import (
+    BudgetExceededError,
+    ConfigError,
+    EngineError,
+    GraphFormatError,
+    ProgramError,
+    ReproError,
+    StorageError,
+)
+from .graph import CSRGraph
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DEFAULT_CONFIG",
+    "SimConfig",
+    "small_test_config",
+    "InitialState",
+    "MultiLogVC",
+    "RunResult",
+    "SuperstepRecord",
+    "UpdateBatch",
+    "VertexContext",
+    "VertexProgram",
+    "speedup",
+    "GraFBoost",
+    "GraphChi",
+    "CSRGraph",
+    "ReproError",
+    "ConfigError",
+    "StorageError",
+    "BudgetExceededError",
+    "GraphFormatError",
+    "EngineError",
+    "ProgramError",
+    "__version__",
+]

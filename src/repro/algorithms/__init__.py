@@ -1,0 +1,55 @@
+"""Vertex programs: the paper's six applications plus extensions.
+
+Paper workloads (§VII): BFS, PageRank (mergeable, GraFBoost-capable);
+community detection, graph coloring, maximal independent set, random
+walk (non-mergeable, MultiLogVC/GraphChi only).  Extensions: WCC and
+SSSP (both mergeable).
+"""
+
+from .bfs import BFSProgram, bfs_reference
+from .cdlp import CommunityDetectionProgram, cdlp_reference, frequent_label
+from .coloring import GraphColoringProgram, coloring_is_proper, smallest_free_color
+from .mis import IN_SET, MISProgram, OUT, UNKNOWN, is_independent_set, is_maximal
+from .pagerank import DeltaPageRankProgram, pagerank_reference
+from .randomwalk import RandomWalkProgram
+from .sssp import SSSPProgram, sssp_reference
+from .triangles import TriangleCountProgram, total_triangles, triangles_reference
+from .wcc import WCCProgram, wcc_reference
+
+#: The paper's §VII application suite, keyed by short name.
+PAPER_APPS = {
+    "bfs": BFSProgram,
+    "pagerank": DeltaPageRankProgram,
+    "cdlp": CommunityDetectionProgram,
+    "coloring": GraphColoringProgram,
+    "mis": MISProgram,
+    "randomwalk": RandomWalkProgram,
+}
+
+__all__ = [
+    "BFSProgram",
+    "bfs_reference",
+    "CommunityDetectionProgram",
+    "cdlp_reference",
+    "frequent_label",
+    "GraphColoringProgram",
+    "coloring_is_proper",
+    "smallest_free_color",
+    "MISProgram",
+    "IN_SET",
+    "OUT",
+    "UNKNOWN",
+    "is_independent_set",
+    "is_maximal",
+    "DeltaPageRankProgram",
+    "pagerank_reference",
+    "RandomWalkProgram",
+    "SSSPProgram",
+    "sssp_reference",
+    "WCCProgram",
+    "wcc_reference",
+    "TriangleCountProgram",
+    "total_triangles",
+    "triangles_reference",
+    "PAPER_APPS",
+]

@@ -1,0 +1,15 @@
+"""Baseline engines MultiLogVC is compared against.
+
+GraphChi and GraFBoost are the paper's §VI quantitative baselines;
+GridGraph and X-Stream reproduce the §IX related-work family as an
+extension.  All four run the same
+:class:`~repro.core.api.VertexProgram` objects as the MultiLogVC engine
+(GridGraph/X-Stream only the combine subset), on the same simulated
+SSD, with the same host-memory budget -- the paper's fairness setup.
+"""
+
+from .grafboost import GraFBoost
+from .graphchi import GraphChi
+from .gridgraph import GridGraph, XStream
+
+__all__ = ["GraFBoost", "GraphChi", "GridGraph", "XStream"]

@@ -1,0 +1,113 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``list``
+    Show the available experiments (paper tables/figures + ablations).
+``run <experiment> [...]``
+    Regenerate one experiment and print its paper-style table.
+``run all``
+    Regenerate everything (slow at bench scale).
+``info``
+    Print the active configuration and dataset shapes.
+
+Examples::
+
+    python -m repro list
+    python -m repro run fig5 --scale test
+    python -m repro run fig6 --scale bench --datasets cf
+    python -m repro info
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from .config import DEFAULT_CONFIG
+from .experiments import ALL_EXPERIMENTS
+from .experiments.common import ExperimentResult
+
+
+def _print_results(results) -> None:
+    if isinstance(results, ExperimentResult):
+        results = [results]
+    for r in results:
+        print(r.render())
+        print()
+
+
+def cmd_list(_args) -> int:
+    print("available experiments:")
+    for name in ALL_EXPERIMENTS:
+        print(f"  {name}")
+    return 0
+
+
+def cmd_run(args) -> int:
+    names = list(ALL_EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    unknown = [n for n in names if n not in ALL_EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
+        print(f"choose from: {', '.join(ALL_EXPERIMENTS)} or 'all'", file=sys.stderr)
+        return 2
+    for name in names:
+        fn = ALL_EXPERIMENTS[name]
+        kwargs = {}
+        if args.scale:
+            kwargs["scale"] = args.scale
+        if args.datasets and name not in ("fig5", "ablations", "table1"):
+            kwargs["datasets"] = tuple(args.datasets.split(","))
+        t0 = time.time()
+        results = fn(**kwargs)
+        _print_results(results)
+        print(f"[{name} regenerated in {time.time() - t0:.1f}s]\n")
+    return 0
+
+
+def cmd_info(_args) -> int:
+    cfg = DEFAULT_CONFIG
+    print("default simulation configuration:")
+    print(f"  SSD: {cfg.ssd.page_size} B pages x {cfg.ssd.channels} channels, "
+          f"read {cfg.ssd.read_latency_us} us/page, write {cfg.ssd.write_latency_us} us/page")
+    print(f"  peak bandwidth: {cfg.ssd.peak_read_bandwidth_mbps:.0f} MB/s read, "
+          f"{cfg.ssd.peak_write_bandwidth_mbps:.0f} MB/s write")
+    print(f"  memory: {cfg.memory.total_bytes // 1024} KiB "
+          f"(sort {int(100 * cfg.memory.sort_fraction)}%, "
+          f"multi-log {int(100 * cfg.memory.multilog_fraction)}%, "
+          f"edge-log {int(100 * cfg.memory.edgelog_fraction)}%)")
+    print(f"  records: update {cfg.records.update_bytes} B, "
+          f"shard edge {cfg.records.edge_record_bytes} B")
+    from .graph.datasets import dataset_table
+
+    print("bench-scale datasets:")
+    for label, n, m in dataset_table("bench"):
+        print(f"  {label}: {n:,} vertices, {m:,} edges")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro", description="MultiLogVC reproduction command line"
+    )
+    sub = p.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list experiments").set_defaults(func=cmd_list)
+    runp = sub.add_parser("run", help="regenerate one experiment (or 'all')")
+    runp.add_argument("experiment")
+    runp.add_argument("--scale", choices=("test", "bench", "large"), default=None)
+    runp.add_argument("--datasets", default=None, help="comma list, e.g. cf,yws")
+    runp.set_defaults(func=cmd_run)
+    sub.add_parser("info", help="show configuration and datasets").set_defaults(func=cmd_info)
+    return p
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,64 @@
+"""Optional combine (reduction) fast path (paper §V-D).
+
+Algorithms whose updates are associative and commutative may declare a
+*combine* operator; the sort-and-group unit then reduces all updates
+bound to one destination into a single update before the vertex runs.
+Algorithms like CDLP / coloring / MIS / random walk must NOT use this
+path -- every update is delivered individually, which is MultiLogVC's
+generality claim over GraFBoost.
+
+A combine spec is either one of the named operators (``"add"``,
+``"min"``, ``"max"``) -- reduced with vectorised ``ufunc.reduceat`` --
+or a callable ``f(data_slice) -> float`` applied per group.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Tuple, Union
+
+import numpy as np
+
+from ..errors import ProgramError
+from .update import DATA_DTYPE, SRC_DTYPE, UpdateBatch
+
+CombineSpec = Union[str, Callable[[np.ndarray], float]]
+
+_NAMED = {"add": np.add, "min": np.minimum, "max": np.maximum}
+
+#: Source id used for synthesised (combined) updates.
+COMBINED_SRC = -1
+
+
+def validate_combine(spec: CombineSpec) -> None:
+    if isinstance(spec, str):
+        if spec not in _NAMED:
+            raise ProgramError(f"unknown combine {spec!r}; pick from {sorted(_NAMED)} or pass a callable")
+    elif not callable(spec):
+        raise ProgramError("combine must be a named operator or a callable")
+
+
+def combine_sorted(batch: UpdateBatch, uniq: np.ndarray, offsets: np.ndarray, spec: CombineSpec) -> Tuple[UpdateBatch, np.ndarray, np.ndarray]:
+    """Reduce a dest-sorted, grouped batch to one update per destination.
+
+    Returns the reduced ``(batch, unique_dests, offsets)`` triple in the
+    same shape contract as :meth:`UpdateBatch.group`.
+    """
+    validate_combine(spec)
+    k = int(uniq.shape[0])
+    if k == 0:
+        return batch, uniq, offsets
+    if isinstance(spec, str):
+        reduced = _NAMED[spec].reduceat(batch.data, offsets[:-1])
+    else:
+        reduced = np.fromiter(
+            (spec(batch.data[offsets[i] : offsets[i + 1]]) for i in range(k)),
+            dtype=DATA_DTYPE,
+            count=k,
+        )
+    out = UpdateBatch(
+        uniq.copy(),
+        np.full(k, COMBINED_SRC, dtype=SRC_DTYPE),
+        np.asarray(reduced, dtype=DATA_DTYPE),
+    )
+    new_offsets = np.arange(k + 1, dtype=np.int64)
+    return out, uniq, new_offsets

@@ -1,0 +1,139 @@
+"""Edge-Log Optimizer (paper §V-C).
+
+While superstep ``s`` processes a vertex ``v`` (whose out-edges are in
+memory anyway), the optimizer decides whether to *re-log* those edges
+into a dense, sequential edge log for superstep ``s + 1``:
+
+1. predict whether ``v`` will be active next superstep -- known for
+   sure if a message bound to ``v`` was already logged, else predicted
+   by the N-superstep history bit vectors (N = 1 by default);
+2. check whether ``v``'s adjacency page was *inefficiently used* this
+   superstep (>0% and <10% of page bytes useful);
+3. if both hold, append ``v``'s header + out-edge entries to the edge
+   log and remember which log pages hold them.
+
+Next superstep, the graph loader fetches covered vertices from the
+dense log pages instead of the sparse colidx pages: logging N vertices
+into one page saves up to N - 1 page reads (§V-C).  Edge logs live for
+exactly one superstep; generations rotate at superstep boundaries.
+
+Completed log pages are evicted to flash eagerly (the B% buffer holds
+only the single in-fill page, so the budget is trivially respected);
+the trailing partial page is flushed at superstep end.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from ..config import SimConfig
+from ..mem.budget import MemoryBudget
+from ..mem.pagebuffer import ByteStreamPager
+from ..ssd.file import PageFile
+from ..ssd.filesystem import SimFS
+
+KLASS_EDGELOG = "edgelog"
+
+
+class EdgeLogOptimizer:
+    """One-superstep-lifetime dense re-log of predicted-active adjacency."""
+
+    def __init__(
+        self,
+        fs: SimFS,
+        n_vertices: int,
+        config: SimConfig,
+        budget: MemoryBudget,
+        name: str = "elog",
+    ) -> None:
+        self.fs = fs
+        self.n = n_vertices
+        self.config = config
+        self.budget = budget
+        self.name = name
+        self.io_time_us = 0.0
+        self._gen = 0
+        # Current generation: what this superstep's loader may read.
+        self._cur_first = np.full(n_vertices, -1, dtype=np.int64)
+        self._cur_last = np.full(n_vertices, -1, dtype=np.int64)
+        self._file_cur: PageFile | None = None
+        # Next generation: being written during this superstep.
+        self._next_first = np.full(n_vertices, -1, dtype=np.int64)
+        self._next_last = np.full(n_vertices, -1, dtype=np.int64)
+        self._file_next = self._new_file()
+        self._pager = ByteStreamPager(config.ssd.page_size)
+        self.vertices_logged = 0
+
+    def _new_file(self) -> PageFile:
+        self._gen += 1
+        return self.fs.create_page_file(f"{self.name}.g{self._gen}", KLASS_EDGELOG, overwrite=True)
+
+    # -- write path (during processing of superstep s) ---------------------
+
+    def consider(self, v: int, degree: int, predicted_active: bool, page_inefficient: bool) -> bool:
+        """Maybe log ``v``'s out-edges for next superstep; True if logged."""
+        if degree <= 0 or not (predicted_active and page_inefficient):
+            return False
+        rec = self.config.records
+        nbytes = rec.edgelog_header_bytes + degree * rec.edgelog_entry_bytes
+        first, last, completed = self._pager.append(nbytes)
+        self._next_first[v] = first
+        self._next_last[v] = last
+        if len(completed):
+            _, t = self._file_next.append_pages([None] * len(completed))
+            self.io_time_us += t
+        self.vertices_logged += 1
+        return True
+
+    # -- read path (during processing of superstep s, for generation s) ---------
+
+    def contains(self, v: int) -> bool:
+        return self._cur_first[v] >= 0
+
+    def contains_many(self, vertices: np.ndarray) -> np.ndarray:
+        return self._cur_first[np.asarray(vertices, dtype=np.int64)] >= 0
+
+    def pages_of(self, vertices: np.ndarray) -> np.ndarray:
+        """Unique current-generation page ids covering ``vertices``."""
+        v = np.asarray(vertices, dtype=np.int64)
+        firsts = self._cur_first[v]
+        lasts = self._cur_last[v]
+        ok = firsts >= 0
+        firsts, lasts = firsts[ok], lasts[ok]
+        if firsts.size == 0:
+            return np.empty(0, dtype=np.int64)
+        counts = lasts - firsts + 1
+        cum = np.cumsum(counts)
+        offsets = np.arange(int(cum[-1]), dtype=np.int64) - np.repeat(cum - counts, counts)
+        pages = np.repeat(firsts, counts) + offsets
+        return np.unique(pages)
+
+    def charge_read(self, hit_vertices: np.ndarray) -> Tuple[float, int]:
+        """Charge reads of the log pages covering the given hit vertices."""
+        pages = self.pages_of(hit_vertices)
+        if pages.size == 0 or self._file_cur is None:
+            return 0.0, 0
+        _, t = self._file_cur.read_pages(pages)
+        self.io_time_us += t
+        return t, int(pages.size)
+
+    # -- superstep boundary -------------------------------------------------------
+
+    def end_superstep(self) -> None:
+        """Flush the partial tail page and rotate generations."""
+        if self._pager.final_partial_page() is not None:
+            _, t = self._file_next.append_page(None, useful_bytes=self._pager.offset % self.config.ssd.page_size)
+            self.io_time_us += t
+        self._cur_first, self._next_first = self._next_first, np.full(self.n, -1, dtype=np.int64)
+        self._cur_last, self._next_last = self._next_last, np.full(self.n, -1, dtype=np.int64)
+        self._file_cur = self._file_next
+        self._file_next = self._new_file()
+        self._pager.reset()
+        self.vertices_logged = 0
+
+    @property
+    def current_coverage(self) -> int:
+        """How many vertices the current generation covers."""
+        return int((self._cur_first >= 0).sum())

@@ -1,0 +1,386 @@
+"""The MultiLogVC engine: superstep driver (paper Algorithm 1).
+
+One superstep:
+
+1. plan interval groups -- fuse contiguous intervals whose estimated
+   logs fit the sort budget (§V-A2);
+2. per group: ``LoadLog`` (read the group's multi-logs from flash plus
+   buffered pages), in-memory sort by destination, ``ExtractActiveVert``;
+3. graph-loader reads only the pages of active vertices' row pointers
+   and adjacency, consulting the edge log first (§V-B2, §V-C);
+4. run ``ProcessVertex`` for every active vertex; ``SendUpdate`` routes
+   outgoing messages into the *next-generation* multi-log;
+5. the edge-log optimizer decides, per processed vertex, whether to
+   re-log its out-edges for next superstep;
+6. at superstep end: flush/rotate logs, merge ready structural updates,
+   advance the active tracker, swap multi-log generations.
+
+Synchronous mode delivers updates in the next superstep; asynchronous
+mode (§V-F) also consumes same-superstep updates already logged for the
+group being processed.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..config import DEFAULT_CONFIG, SimConfig
+from ..errors import EngineError, ProgramError
+from ..graph.csr import CSRGraph
+from ..graph.partition import VertexIntervals, partition_by_update_volume
+from ..graph.storage import GraphOnSSD
+from ..mem.budget import MemoryBudget
+from ..ssd.filesystem import SimFS
+from .active import ActiveTracker
+from .api import VertexContext, VertexProgram
+from .edgelog import EdgeLogOptimizer
+from .loader import GraphLoaderUnit
+from .multilog import MultiLogUnit
+from .mutation import MutationBuffer
+from .results import ComputeMeter, RunResult, SuperstepRecord
+from .sortgroup import SortGroupUnit
+from .update import DATA_DTYPE, SRC_DTYPE, UpdateBatch
+
+_EMPTY_SRC = np.empty(0, dtype=SRC_DTYPE)
+_EMPTY_DATA = np.empty(0, dtype=DATA_DTYPE)
+
+
+class MultiLogVC:
+    """Out-of-core vertex-centric engine with multi-log update handling.
+
+    Parameters
+    ----------
+    graph:
+        The input graph (host-side CSR; it is laid out on the simulated
+        SSD partitioned by vertex interval).
+    program:
+        The vertex program to execute.
+    config:
+        Simulation configuration (defaults to the paper-scaled setup).
+    fs:
+        Optional existing simulated file system (a fresh one otherwise).
+    mode:
+        ``"sync"`` (default) or ``"async"`` computation model (§V-F).
+    enable_edgelog:
+        Toggle for the §V-C edge-log optimizer (ablations disable it).
+    enable_fusing:
+        Toggle for §V-A2 interval fusing; disabling processes one
+        interval per sort/group pass (ablations only).
+    min_intervals:
+        Force at least this many vertex intervals (testing/ablation).
+    intervals:
+        Explicit vertex-interval partition, overriding the §V-A1 sizing
+        rule (testing only).
+    """
+
+    name = "multilogvc"
+
+    def __init__(
+        self,
+        graph: CSRGraph,
+        program: VertexProgram,
+        config: SimConfig = DEFAULT_CONFIG,
+        fs: Optional[SimFS] = None,
+        mode: str = "sync",
+        enable_edgelog: bool = True,
+        enable_fusing: bool = True,
+        min_intervals: int = 1,
+        intervals: Optional[VertexIntervals] = None,
+    ) -> None:
+        if mode not in ("sync", "async"):
+            raise EngineError(f"mode must be 'sync' or 'async', got {mode!r}")
+        if program.uses_edge_state and program.needs_weights:
+            raise ProgramError(
+                "uses_edge_state and needs_weights are mutually exclusive: "
+                "both map to the interval value vector"
+            )
+        if program.uses_edge_state and program.mutates_structure:
+            raise ProgramError("edge state plus structural mutation is not supported")
+        self.graph = graph
+        self.program = program
+        self.config = config
+        self.fs = fs if fs is not None else SimFS(config)
+        self.mode = mode
+        self.enable_edgelog = enable_edgelog
+        self.enable_fusing = enable_fusing
+        if intervals is None:
+            intervals = partition_by_update_volume(
+                graph,
+                config.memory.sort_bytes,
+                config.records.update_bytes,
+                min_intervals=min_intervals,
+            )
+        self.intervals = intervals
+        need_vals = program.needs_weights or program.uses_edge_state
+        self.storage = GraphOnSSD(
+            graph, intervals, self.fs, config, name="graph", with_weights=need_vals
+        )
+        self.budget = MemoryBudget.resolve(config, intervals.n_intervals)
+
+    # ------------------------------------------------------------------
+
+    def run(self, max_supersteps: int = 15, seed: int = 0) -> RunResult:
+        """Execute up to ``max_supersteps`` supersteps; returns the result.
+
+        ``converged`` in the result is True when the run stopped because
+        no vertex was active and no updates were pending (or the program
+        reported convergence), False when the superstep cap was hit.
+        """
+        cfg = self.config
+        prog = self.program
+        n = self.graph.n
+        rng = np.random.default_rng(seed)
+        meter = ComputeMeter(cfg.compute)
+        tracker = ActiveTracker(n, cfg.edgelog_history_window)
+        mlog_cur = MultiLogUnit(self.fs, self.intervals, cfg, self.budget, "mlog.a", tracker=None)
+        mlog_next = MultiLogUnit(self.fs, self.intervals, cfg, self.budget, "mlog.b", tracker=tracker)
+        sortgroup = SortGroupUnit(cfg, self.budget, meter)
+        loader = GraphLoaderUnit(self.storage, cfg)
+        edgelog = (
+            EdgeLogOptimizer(self.fs, n, cfg, self.budget) if self.enable_edgelog else None
+        )
+        mutations = MutationBuffer(self.storage, cfg) if prog.mutates_structure else None
+        stats_start = self.fs.stats.snapshot()
+
+        init = prog.initial(self.graph, rng)
+        values = np.array(init.values, dtype=np.float64, copy=True)
+        if values.shape[0] != n:
+            raise ProgramError("initial values must have one entry per vertex")
+        active0 = np.asarray(init.active, dtype=np.int64)
+        if init.messages is not None and init.messages.n:
+            mlog_cur.ingest(init.messages)
+            active0 = np.union1d(active0, init.messages.dest.astype(np.int64))
+        tracker.seed(active0)
+
+        mutate_cb = None
+        if mutations is not None:
+            def mutate_cb(op: str, src: int, dst: int, w: float) -> None:
+                if op == "add":
+                    mutations.add_edge(src, dst, w)
+                else:
+                    mutations.remove_edge(src, dst)
+
+        records: List[SuperstepRecord] = []
+        converged = False
+        for step in range(max_supersteps):
+            if tracker.n_current == 0 and mlog_cur.total_messages == 0:
+                converged = True
+                break
+            stats_before = self.fs.stats.snapshot()
+            compute_before = meter.time_us
+            sent_before = mlog_next.appended
+
+            active_ids = tracker.current_ids
+            must = np.zeros(self.intervals.n_intervals, dtype=bool)
+            if active_ids.size:
+                must[np.unique(self.intervals.interval_of(active_ids))] = True
+            groups = sortgroup.plan_groups(
+                mlog_cur,
+                must_include=must,
+                max_group_intervals=None if self.enable_fusing else 1,
+            )
+
+            processed = 0
+            updates_processed = 0
+            edges_scanned = 0
+            ineff_pages = 0
+            accessed_pages = 0
+            hypo_ineff = 0
+            avoided_ineff = 0
+            for group in groups:
+                extra: Optional[UpdateBatch] = None
+                if self.mode == "async":
+                    extra = mlog_next.consume(group)
+                sg = sortgroup.load_group(mlog_cur, group, combine=prog.combine, extra=extra)
+                self_act = active_ids[(active_ids >= sg.vertex_lo) & (active_ids < sg.vertex_hi)]
+                verts = np.union1d(sg.unique_dests.astype(np.int64), self_act)
+                if verts.size == 0:
+                    continue
+                report = loader.load_active(
+                    verts, prog.needs_weights, prog.uses_edge_state, edgelog
+                )
+                for useful in report.colidx_useful:
+                    frac = useful / cfg.ssd.page_size
+                    ineff_pages += int(((useful > 0) & (frac < cfg.page_efficiency_threshold)).sum())
+                accessed_pages += report.data_pages
+                hypo_ineff += report.hypo_inefficient
+                avoided_ineff += report.avoided_inefficient
+
+                # Vectorised fast path: the program handles the whole
+                # group in bulk (see repro.core.batch).
+                if (
+                    prog.supports_batch
+                    and mutations is None
+                    and not prog.uses_edge_state
+                ):
+                    bctx = self._build_batch(sg, verts, prog, mlog_next, rng, step, values)
+                    if prog.process_batch(bctx):
+                        stay = verts[bctx._stay_mask]
+                        if stay.size:
+                            tracker.next_self[stay] = True
+                        degs = bctx.degrees
+                        processed += verts.shape[0]
+                        updates_processed += bctx.total_updates
+                        g_edges = int(degs.sum())
+                        edges_scanned += g_edges
+                        meter.charge_vertices(verts.shape[0])
+                        meter.charge_updates(int(sg.batch.n))
+                        meter.charge_edges(g_edges)
+                        if edgelog is not None:
+                            predicted = tracker.predict_active_next_many(verts)
+                            cand = predicted & report.vertex_page_inefficient & (degs > 0)
+                            for idx in np.flatnonzero(cand):
+                                edgelog.consider(
+                                    int(verts[idx]), int(degs[idx]), True, True
+                                )
+                        continue
+
+                upos = np.searchsorted(sg.unique_dests, verts)
+                k_updates = sg.unique_dests.shape[0]
+                group_edges = 0
+                dirty: List[int] = []
+                for idx in range(verts.shape[0]):
+                    v = int(verts[idx])
+                    p = int(upos[idx])
+                    if p < k_updates and sg.unique_dests[p] == v:
+                        usrc, udata = sg.updates_for(p)
+                    else:
+                        usrc, udata = _EMPTY_SRC, _EMPTY_DATA
+                    nb = self.storage.neighbors(v)
+                    wt = self.storage.weights(v) if (prog.needs_weights or prog.uses_edge_state) else None
+                    if mutations is not None:
+                        nb, wt = mutations.overlay_adjacency(v, nb, wt)
+                    ctx = VertexContext(
+                        vid=v,
+                        superstep=step,
+                        values=values,
+                        updates_src=usrc,
+                        updates_data=udata,
+                        out_neighbors=nb,
+                        out_weights=wt if prog.needs_weights else None,
+                        edge_state=wt if prog.uses_edge_state else None,
+                        send=mlog_next.send,
+                        send_many=mlog_next.send_many,
+                        rng=rng,
+                        mutate=mutate_cb,
+                    )
+                    prog.process(ctx)
+                    if not ctx.deactivated:
+                        tracker.note_self_active(v)
+                    if ctx.edge_state_dirty:
+                        dirty.append(v)
+                    processed += 1
+                    updates_processed += usrc.shape[0]
+                    group_edges += nb.shape[0]
+                    if edgelog is not None:
+                        predicted = tracker.predict_active_next(v)
+                        inefficient = bool(report.vertex_page_inefficient[idx])
+                        edgelog.consider(v, nb.shape[0], predicted, inefficient)
+                edges_scanned += group_edges
+                meter.charge_vertices(verts.shape[0])
+                meter.charge_updates(int(sg.batch.n))
+                meter.charge_edges(group_edges)
+                if dirty:
+                    loader.writeback_edge_state(np.asarray(dirty))
+
+            if mutations is not None:
+                mutations.merge_ready()
+            elog_logged = edgelog.vertices_logged if edgelog is not None else 0
+            if edgelog is not None:
+                edgelog.end_superstep()
+            prog.on_superstep_end(step, values, rng)
+
+            delta = self.fs.stats.snapshot() - stats_before
+            records.append(
+                SuperstepRecord(
+                    index=step,
+                    active_vertices=processed,
+                    updates_processed=updates_processed,
+                    messages_sent=mlog_next.appended - sent_before,
+                    edges_scanned=edges_scanned,
+                    storage_time_us=delta.total_time_us,
+                    compute_time_us=meter.time_us - compute_before,
+                    pages_read=delta.pages_read,
+                    pages_written=delta.pages_written,
+                    pages_read_by_class={k: c.pages for k, c in delta.reads.items()},
+                    inefficient_pages=ineff_pages,
+                    accessed_data_pages=accessed_pages,
+                    edgelog_vertices_logged=elog_logged,
+                    inefficient_pages_predicted=avoided_ineff,
+                )
+            )
+            tracker.advance()
+            mlog_cur, mlog_next = mlog_next, mlog_cur
+            mlog_cur.tracker = None
+            mlog_next.tracker = tracker
+            if prog.is_converged(values):
+                converged = True
+                break
+
+        if mutations is not None:
+            mutations.merge_all()
+        stats = self.fs.stats.snapshot() - stats_start
+        return RunResult(
+            engine=self.name,
+            program=prog.name,
+            values=values,
+            supersteps=records,
+            converged=converged,
+            stats=stats,
+            compute_time_us=meter.time_us,
+        )
+
+    # ------------------------------------------------------------------
+
+    def _build_batch(self, sg, verts, prog, mlog_next, rng, step, values):
+        """Assemble the columnar :class:`~repro.core.batch.BatchContext`.
+
+        Adjacency for the whole group is gathered with one vectorised
+        fancy-index per interval; update slices come straight from the
+        group's dest-sorted batch via binary search.
+        """
+        from .batch import BatchContext, flatten_ranges
+
+        u_lo = np.searchsorted(sg.batch.dest, verts, side="left")
+        u_hi = np.searchsorted(sg.batch.dest, verts, side="right")
+        need_w = prog.needs_weights
+        bounds = self.intervals.boundaries
+        cut = np.searchsorted(verts, bounds)
+        nb_parts, w_parts, deg_parts = [], [], []
+        for i in range(self.intervals.n_intervals):
+            s, e = cut[i], cut[i + 1]
+            if s == e:
+                continue
+            files = self.storage.interval_files(i)
+            _, starts, stops = self.storage.local_ranges(i, verts[s:e])
+            deg_parts.append((stops - starts).astype(np.int64))
+            idx = flatten_ranges(starts, stops)
+            nb_parts.append(files.colidx.array[idx].astype(np.int64))
+            if need_w and files.values is not None:
+                w_parts.append(files.values.array[idx])
+        degrees = np.concatenate(deg_parts) if deg_parts else np.empty(0, np.int64)
+        nb_flat = np.concatenate(nb_parts) if nb_parts else np.empty(0, np.int64)
+        w_flat = np.concatenate(w_parts) if (need_w and w_parts) else None
+        nb_offsets = np.concatenate([[0], np.cumsum(degrees)]).astype(np.int64)
+
+        def send_batch(dests, srcs, datas):
+            mlog_next.ingest(UpdateBatch.of(dests, srcs, datas))
+
+        return BatchContext(
+            vids=verts,
+            superstep=step,
+            values=values,
+            u_lo=u_lo,
+            u_hi=u_hi,
+            usrc=sg.batch.src,
+            udata=sg.batch.data,
+            degrees=degrees,
+            nb_offsets=nb_offsets,
+            nb_flat=nb_flat,
+            w_flat=w_flat,
+            send_batch=send_batch,
+            rng=rng,
+        )
+

@@ -1,0 +1,272 @@
+"""Multi-Log Update Unit (paper §V-A).
+
+Outgoing messages are appended to one log per destination *vertex
+interval*.  Hot path: ``send`` maps the destination to its interval
+(the paper's ``vId2IntervalMap``), appends ``<v_dest, m>`` to that
+interval's top page in the multi-log memory buffer, and marks the
+destination as known-active for the next superstep.
+
+Buffering and eviction follow §V-A3: the buffer holds page-sized
+chunks, at least one (top) page per interval; when free buffer space
+drops below the low watermark, sealed (full) pages are appended to the
+corresponding per-interval log files -- which are interspersed across
+all SSD channels -- until the high watermark is restored.  If sealed
+pages alone cannot free enough space, the largest partial top pages are
+force-sealed and flushed too.
+
+``consume`` is the read half used by the sort-and-group unit: it pulls
+an interval group's flushed pages back from flash plus whatever is
+still buffered in memory, and resets that interval's log.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..config import SimConfig
+from ..errors import ProgramError
+from ..graph.partition import VertexIntervals
+from ..mem.budget import MemoryBudget
+from ..mem.pagebuffer import RecordPageBuffer
+from ..ssd.file import PageFile
+from ..ssd.filesystem import SimFS
+from .active import ActiveTracker
+from .update import UPDATE_DTYPES, UPDATE_FIELDS, UpdateBatch
+
+KLASS_MLOG = "mlog"
+
+
+class MultiLogUnit:
+    """Per-interval update logs with page-buffered, watermarked eviction."""
+
+    def __init__(
+        self,
+        fs: SimFS,
+        intervals: VertexIntervals,
+        config: SimConfig,
+        budget: MemoryBudget,
+        name: str = "mlog",
+        tracker: Optional[ActiveTracker] = None,
+    ) -> None:
+        self.fs = fs
+        self.intervals = intervals
+        self.config = config
+        self.budget = budget
+        self.name = name
+        self.tracker = tracker
+        k = intervals.n_intervals
+        rpp = config.updates_per_page
+        self._buffers: List[RecordPageBuffer] = [
+            RecordPageBuffer(UPDATE_FIELDS, UPDATE_DTYPES, rpp) for _ in range(k)
+        ]
+        self._files: List[Optional[PageFile]] = [None] * k
+        self.counters = np.zeros(k, dtype=np.int64)
+        #: monotonic count of every update ever appended (never reset by
+        #: consume); engines diff it to report per-superstep sends.
+        self.appended = 0
+        self._pages_used = 0
+        self.io_time_us = 0.0
+        # Dense vertex -> interval map for the hot path.
+        self._v2i = np.empty(intervals.n_vertices, dtype=np.int32)
+        for i, lo, hi in intervals:
+            self._v2i[lo:hi] = i
+        self._capacity = budget.multilog_pages
+        mem = config.memory
+        self._low_free = int(np.floor(mem.evict_low_free_fraction * self._capacity))
+        self._high_free = int(np.floor(mem.evict_high_free_fraction * self._capacity))
+
+    # -- geometry / introspection -------------------------------------------
+
+    @property
+    def n_intervals(self) -> int:
+        return self.intervals.n_intervals
+
+    @property
+    def pages_buffered(self) -> int:
+        return self._pages_used
+
+    @property
+    def capacity_pages(self) -> int:
+        return self._capacity
+
+    @property
+    def total_messages(self) -> int:
+        return int(self.counters.sum())
+
+    def message_count(self, i: int) -> int:
+        return int(self.counters[i])
+
+    def estimated_bytes(self, i: int) -> int:
+        """First-order log-size estimate from the message counter (§V-B)."""
+        return int(self.counters[i]) * self.config.records.update_bytes
+
+    def pages_on_flash(self, i: int) -> int:
+        f = self._files[i]
+        return f.n_pages if f is not None else 0
+
+    # -- hot path ----------------------------------------------------------------
+
+    def send(self, dest: int, src: int, data: float) -> None:
+        """Append one update to the destination interval's log."""
+        if not 0 <= dest < self._v2i.shape[0]:
+            raise ProgramError(f"send target {dest} outside graph [0, {self._v2i.shape[0]})")
+        i = int(self._v2i[dest])
+        buf = self._buffers[i]
+        if buf.top_records == 0:
+            self._pages_used += 1  # a fresh top page is now occupied
+        buf.append(dest, src, data)
+        self.counters[i] += 1
+        self.appended += 1
+        if self.tracker is not None:
+            self.tracker.note_message(dest)
+        if self._capacity - self._pages_used < self._low_free:
+            self._evict()
+
+    def send_many(self, dests: np.ndarray, src: int, datas: np.ndarray) -> None:
+        """Vectorised multi-destination append (one source vertex)."""
+        dests = np.asarray(dests, dtype=np.int64)
+        if dests.size == 0:
+            return
+        if dests.min() < 0 or dests.max() >= self._v2i.shape[0]:
+            raise ProgramError("send target outside graph")
+        datas = np.asarray(datas, dtype=np.float64)
+        if datas.shape != dests.shape:
+            raise ProgramError("send_many dests/datas length mismatch")
+        srcs = np.full(dests.shape[0], src, dtype=np.int64)
+        self._append_bulk(dests, srcs, np.asarray(datas, dtype=np.float64))
+        if self.tracker is not None:
+            self.tracker.note_messages(dests)
+
+    def ingest(self, batch: UpdateBatch) -> None:
+        """Bulk-load a pre-built batch (seed messages, batch-path sends)."""
+        if batch is None or batch.n == 0:
+            return
+        dests = batch.dest.astype(np.int64)
+        self._append_bulk(dests, batch.src.astype(np.int64), batch.data)
+        if self.tracker is not None:
+            self.tracker.note_messages(dests)
+
+    def _append_bulk(self, dests: np.ndarray, srcs: np.ndarray, datas: np.ndarray) -> None:
+        """Append a record batch, honouring the buffer watermark.
+
+        Bulk appends are chunked so the buffer never transiently exceeds
+        its capacity by more than one eviction quantum -- otherwise a
+        large burst would be absorbed "for free" in memory and then
+        spilled via force-sealed partial pages (write amplification the
+        per-record path never exhibits).
+        """
+        rpp = self.config.updates_per_page
+        chunk = max(rpp, self._high_free * rpp)
+        ivals = self._v2i[dests]
+        for i in np.unique(ivals):
+            mask = ivals == i
+            d, s, x = dests[mask], srcs[mask], datas[mask]
+            buf = self._buffers[i]
+            for pos in range(0, d.shape[0], chunk):
+                before = buf.pages_used
+                buf.append_many(d[pos : pos + chunk], s[pos : pos + chunk], x[pos : pos + chunk])
+                self._pages_used += buf.pages_used - before
+                if self._capacity - self._pages_used < self._low_free:
+                    self._evict()
+            self.counters[i] += int(d.shape[0])
+        self.appended += int(dests.shape[0])
+
+    # -- eviction -----------------------------------------------------------------
+
+    def _file(self, i: int) -> PageFile:
+        f = self._files[i]
+        if f is None:
+            f = self.fs.create_page_file(f"{self.name}.i{i}", KLASS_MLOG, overwrite=True)
+            self._files[i] = f
+        return f
+
+    def _evict(self) -> None:
+        """Flush buffered pages to flash until the high watermark holds.
+
+        All evicted pages are submitted as **one** write batch spanning
+        every touched log file -- the paper's §V-A3 concurrent eviction
+        across all SSD channels ("multiple log page evictions may occur
+        concurrently ... most of the SSD bandwidth can be utilized").
+        """
+        target_used = self._capacity - self._high_free
+        batch_channels = []
+        # Pass 1: sealed (full) pages, most-backed-up intervals first.
+        order = sorted(
+            range(self.n_intervals),
+            key=lambda i: self._buffers[i].sealed_pages,
+            reverse=True,
+        )
+        for i in order:
+            if self._pages_used <= target_used:
+                break
+            buf = self._buffers[i]
+            if buf.sealed_pages == 0:
+                continue
+            take = min(buf.sealed_pages, self._pages_used - target_used)
+            pages = buf.pop_sealed(take)
+            useful = [len(p[0]) * self.config.records.update_bytes for p in pages]
+            ids, _ = self._file(i).append_pages(pages, useful_bytes=useful, charge=False)
+            batch_channels.append(self._file(i).channels_of(ids))
+            self._pages_used -= len(pages)
+        # Pass 2: force-seal the largest partial top pages (rare; only
+        # when sealed pages alone cannot restore the watermark).
+        if self._pages_used > target_used:
+            order = sorted(
+                range(self.n_intervals),
+                key=lambda i: self._buffers[i].top_records,
+                reverse=True,
+            )
+            for i in order:
+                if self._pages_used <= target_used:
+                    break
+                buf = self._buffers[i]
+                if buf.top_records == 0:
+                    continue
+                buf.force_seal()
+                pages = buf.pop_sealed()
+                useful = [len(p[0]) * self.config.records.update_bytes for p in pages]
+                ids, _ = self._file(i).append_pages(pages, useful_bytes=useful, charge=False)
+                batch_channels.append(self._file(i).channels_of(ids))
+                self._pages_used -= len(pages)
+        if batch_channels:
+            channels = np.concatenate(batch_channels)
+            self.io_time_us += self.fs.device.write_batch(channels, KLASS_MLOG)
+
+    # -- consumption (sort-and-group read path) ----------------------------------------
+
+    def consume(self, interval_ids: List[int]) -> UpdateBatch:
+        """Load and clear the logs of an interval group.
+
+        Reads each interval's flushed pages back from flash (charged to
+        this unit's ``io_time_us``), drains the still-buffered records,
+        and resets counters.  Returns the concatenated unsorted batch.
+        """
+        parts: List[UpdateBatch] = []
+        for i in interval_ids:
+            f = self._files[i]
+            if f is not None and f.n_pages:
+                payloads, t = f.read_all()
+                self.io_time_us += t
+                for dest, src, data in payloads:
+                    parts.append(UpdateBatch.of(dest, src, data))
+                f.truncate()
+            buf = self._buffers[i]
+            self._pages_used -= buf.pages_used
+            dest, src, data = buf.drain_all()
+            if dest.shape[0]:
+                parts.append(UpdateBatch.of(dest, src, data))
+            self.counters[i] = 0
+        return UpdateBatch.concat(parts)
+
+    def reset(self) -> None:
+        """Drop all buffered and flushed updates (end of run)."""
+        for i in range(self.n_intervals):
+            buf = self._buffers[i]
+            self._pages_used -= buf.pages_used
+            buf.drain_all()
+            f = self._files[i]
+            if f is not None:
+                f.truncate()
+            self.counters[i] = 0

@@ -1,0 +1,145 @@
+"""Run results and compute metering shared by all engines.
+
+Simulated execution time of a superstep is ``storage_time + compute_time``:
+
+* storage time comes from the SSD channel model (every charged batch),
+* compute time from :class:`ComputeMeter`, the stand-in for the paper's
+  multicore host (§VI: OpenMP on an i7-4790).
+
+Per-superstep records let the experiments reproduce the paper's
+time-series figures (Fig. 5c storage/compute split, Fig. 7 per-superstep
+speedups) and activity traces (Fig. 2).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+import numpy as np
+
+from ..config import ComputeConfig
+from ..ssd.stats import SSDStats
+
+
+class ComputeMeter:
+    """Accumulates simulated compute time from per-item costs."""
+
+    def __init__(self, config: ComputeConfig) -> None:
+        self.config = config
+        self.time_us = 0.0
+
+    def charge_vertices(self, n: int) -> None:
+        self.time_us += n * self.config.per_vertex_us / self.config.cores
+
+    def charge_updates(self, n: int) -> None:
+        self.time_us += n * self.config.per_update_us / self.config.cores
+
+    def charge_edges(self, n: int) -> None:
+        self.time_us += n * self.config.per_edge_us / self.config.cores
+
+    def charge_sort(self, n: int) -> None:
+        if n > 1:
+            self.time_us += n * math.log2(n) * self.config.per_sort_item_us / self.config.cores
+
+    def snapshot(self) -> float:
+        return self.time_us
+
+
+@dataclass
+class SuperstepRecord:
+    """Everything measured about one superstep of one engine run."""
+
+    index: int
+    active_vertices: int
+    updates_processed: int
+    messages_sent: int
+    edges_scanned: int
+    storage_time_us: float
+    compute_time_us: float
+    pages_read: int
+    pages_written: int
+    #: per-storage-class pages read this superstep
+    pages_read_by_class: Dict[str, int] = field(default_factory=dict)
+    #: colidx pages with >0% and <10% useful bytes this superstep (Fig. 3)
+    inefficient_pages: int = 0
+    accessed_data_pages: int = 0
+    #: edge-log bookkeeping (MultiLogVC only)
+    edgelog_vertices_logged: int = 0
+    edgelog_pages_avoided: int = 0
+    inefficient_pages_predicted: int = 0
+
+    @property
+    def total_time_us(self) -> float:
+        return self.storage_time_us + self.compute_time_us
+
+
+@dataclass
+class RunResult:
+    """Final state and measurements of one engine run."""
+
+    engine: str
+    program: str
+    values: np.ndarray
+    supersteps: List[SuperstepRecord]
+    converged: bool
+    stats: SSDStats
+    compute_time_us: float
+
+    @property
+    def n_supersteps(self) -> int:
+        return len(self.supersteps)
+
+    @property
+    def storage_time_us(self) -> float:
+        return self.stats.total_time_us
+
+    @property
+    def total_time_us(self) -> float:
+        return self.storage_time_us + self.compute_time_us
+
+    @property
+    def pages_read(self) -> int:
+        return self.stats.pages_read
+
+    @property
+    def pages_written(self) -> int:
+        return self.stats.pages_written
+
+    @property
+    def total_pages(self) -> int:
+        return self.stats.total_pages
+
+    def storage_fraction(self) -> float:
+        """Share of total simulated time spent on storage (Fig. 5c)."""
+        t = self.total_time_us
+        return self.storage_time_us / t if t > 0 else 0.0
+
+    def activity_trace(self) -> np.ndarray:
+        """Active-vertex counts per superstep (Fig. 2)."""
+        return np.asarray([r.active_vertices for r in self.supersteps], dtype=np.int64)
+
+    def update_trace(self) -> np.ndarray:
+        """Updates processed per superstep (Fig. 2's active-edge series)."""
+        return np.asarray([r.updates_processed for r in self.supersteps], dtype=np.int64)
+
+    def time_trace(self) -> np.ndarray:
+        """Total simulated time per superstep (Fig. 7)."""
+        return np.asarray([r.total_time_us for r in self.supersteps], dtype=np.float64)
+
+    def summary(self) -> str:
+        return (
+            f"{self.engine}/{self.program}: {self.n_supersteps} supersteps, "
+            f"time={self.total_time_us / 1e3:.2f} ms "
+            f"(storage {100 * self.storage_fraction():.1f}%), "
+            f"pages r/w={self.pages_read}/{self.pages_written}, "
+            f"converged={self.converged}"
+        )
+
+
+def speedup(baseline: RunResult, contender: RunResult) -> float:
+    """Paper-style speedup: baseline time divided by contender time."""
+    if contender.total_time_us <= 0:
+        return float("inf")
+    return baseline.total_time_us / contender.total_time_us

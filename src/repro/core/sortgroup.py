@@ -1,0 +1,144 @@
+"""Sort-and-Group Unit (paper §V-B).
+
+At the start of each superstep the engine walks the vertex intervals in
+order.  For each position it *fuses* as many contiguous intervals as the
+sort memory budget allows -- using the multi-log's per-interval message
+counters as the first-order size estimate (§V-A2/§V-B) -- then loads the
+fused logs, sorts the updates by destination vertex **in memory**, and
+groups them so the vertices can be processed.  If the program declares a
+combine operator, the reduction is applied transparently here (§V-D).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..config import SimConfig
+from ..mem.budget import MemoryBudget
+from .combine import CombineSpec, combine_sorted
+from .multilog import MultiLogUnit
+from .results import ComputeMeter
+from .update import UpdateBatch
+
+
+@dataclass
+class SortedGroup:
+    """One fused interval group, ready for vertex processing."""
+
+    interval_ids: List[int]
+    vertex_lo: int
+    vertex_hi: int
+    batch: UpdateBatch  # dest-sorted (and combined, if enabled)
+    unique_dests: np.ndarray
+    offsets: np.ndarray  # len(unique_dests) + 1
+    #: True when a single interval's log alone exceeded the sort budget
+    #: (possible only when the §V-A1 conservative sizing was overridden).
+    overflowed: bool = False
+
+    def updates_for(self, k: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Updates of ``unique_dests[k]`` as ``(src, data)`` arrays."""
+        s, e = int(self.offsets[k]), int(self.offsets[k + 1])
+        return self.batch.src[s:e], self.batch.data[s:e]
+
+
+class SortGroupUnit:
+    """Plans interval fusing and performs the in-memory sort/group."""
+
+    def __init__(self, config: SimConfig, budget: MemoryBudget, meter: ComputeMeter) -> None:
+        self.config = config
+        self.budget = budget
+        self.meter = meter
+
+    # -- planning -------------------------------------------------------------
+
+    def plan_groups(
+        self,
+        multilog: MultiLogUnit,
+        must_include: Optional[np.ndarray] = None,
+        max_group_intervals: Optional[int] = None,
+    ) -> List[List[int]]:
+        """Greedy contiguous fusing of intervals under the sort budget.
+
+        Parameters
+        ----------
+        multilog:
+            Source of per-interval size estimates.
+        must_include:
+            Optional boolean mask over intervals that must be processed
+            even with an empty log (they contain self-active vertices).
+
+        max_group_intervals:
+            Optional cap on intervals per group (``1`` disables fusing;
+            used by the fusing ablation).
+
+        Returns a list of interval-id groups covering every interval that
+        has messages or is forced by ``must_include``; intervals with
+        nothing to do are skipped entirely (the CSR/active-list benefit).
+        """
+        k = multilog.n_intervals
+        sizes = [multilog.estimated_bytes(i) for i in range(k)]
+        needed = [
+            sizes[i] > 0 or (must_include is not None and bool(must_include[i]))
+            for i in range(k)
+        ]
+        groups: List[List[int]] = []
+        cur: List[int] = []
+        cur_bytes = 0
+        budget = self.budget.sort_bytes
+        for i in range(k):
+            if not needed[i]:
+                # A gap ends the current fused run: fusing is contiguous.
+                if cur:
+                    groups.append(cur)
+                    cur, cur_bytes = [], 0
+                continue
+            full = cur and (
+                cur_bytes + sizes[i] > budget
+                or (max_group_intervals is not None and len(cur) >= max_group_intervals)
+            )
+            if full:
+                groups.append(cur)
+                cur, cur_bytes = [], 0
+            cur.append(i)
+            cur_bytes += sizes[i]
+        if cur:
+            groups.append(cur)
+        return groups
+
+    # -- load + sort + group ---------------------------------------------------
+
+    def load_group(
+        self,
+        multilog: MultiLogUnit,
+        interval_ids: List[int],
+        combine: Optional[CombineSpec] = None,
+        extra: Optional[UpdateBatch] = None,
+    ) -> SortedGroup:
+        """Consume an interval group's logs and sort/group them in memory.
+
+        ``extra`` lets the asynchronous mode inject same-superstep
+        updates produced by earlier groups.
+        """
+        batch = multilog.consume(interval_ids)
+        if extra is not None and extra.n:
+            batch = UpdateBatch.concat([batch, extra])
+        overflowed = batch.n * self.config.records.update_bytes > self.budget.sort_bytes
+        self.meter.charge_sort(batch.n)
+        batch = batch.sort_by_dest()
+        uniq, offsets = batch.group()
+        if combine is not None and uniq.shape[0]:
+            batch, uniq, offsets = combine_sorted(batch, uniq, offsets, combine)
+        lo = multilog.intervals.span(interval_ids[0])[0]
+        hi = multilog.intervals.span(interval_ids[-1])[1]
+        return SortedGroup(
+            interval_ids=list(interval_ids),
+            vertex_lo=lo,
+            vertex_hi=hi,
+            batch=batch,
+            unique_dests=uniq,
+            offsets=offsets,
+            overflowed=overflowed,
+        )

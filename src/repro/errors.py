@@ -1,0 +1,42 @@
+"""Exception hierarchy for the MultiLogVC reproduction.
+
+All errors raised by this package derive from :class:`ReproError`, so
+callers can catch one type to handle any library failure.  Subclasses are
+grouped by subsystem (configuration, storage substrate, graph formats,
+engine runtime, user vertex programs).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by :mod:`repro`."""
+
+
+class ConfigError(ReproError):
+    """Invalid or inconsistent simulation configuration."""
+
+
+class StorageError(ReproError):
+    """Misuse of the simulated SSD substrate (bad page id, missing file, ...)."""
+
+
+class BudgetExceededError(ReproError):
+    """A component tried to use more host memory than its budget allows."""
+
+
+class GraphFormatError(ReproError):
+    """Malformed graph input (bad CSR invariants, out-of-range vertex ids)."""
+
+
+class EngineError(ReproError):
+    """Internal engine invariant violation or invalid run-time request."""
+
+
+class ProgramError(ReproError):
+    """A user vertex program violated the vertex-centric contract.
+
+    Examples: sending a message to a vertex id outside the graph, writing
+    edge weights without declaring ``mutates_weights``, or mutating graph
+    structure from a program that does not buffer its updates.
+    """

@@ -1,0 +1,48 @@
+"""One module per reproduced paper artifact (see DESIGN.md §4).
+
+Each module exposes ``run(...) -> ExperimentResult`` and a printing
+``main()``; the ``benchmarks/`` directory wires them into
+pytest-benchmark.  ``run_all`` regenerates everything for
+EXPERIMENTS.md.
+"""
+
+from typing import Callable, Dict, List
+
+from .common import ExperimentResult
+from . import (
+    ablations,
+    ext_gridgraph,
+    ext_preprocessing,
+    fig2_active,
+    fig3_utilization,
+    fig5_bfs,
+    fig6_apps,
+    fig7_supersteps,
+    fig8_grafboost,
+    fig9_prediction,
+    fig10_memory,
+    table1_datasets,
+)
+
+ALL_EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
+    "table1": table1_datasets.run,
+    "fig2": fig2_active.run,
+    "fig3": fig3_utilization.run,
+    "fig5": fig5_bfs.run,
+    "fig6": fig6_apps.run,
+    "fig7": fig7_supersteps.run,
+    "fig8": fig8_grafboost.run,
+    "fig9": fig9_prediction.run,
+    "fig10": fig10_memory.run,
+    "ablations": ablations.run,
+    "ext-gridgraph": ext_gridgraph.run,
+    "ext-preprocessing": ext_preprocessing.run,
+}
+
+
+def run_all(**kwargs) -> List[ExperimentResult]:
+    """Run every experiment (slow at bench scale) and return the results."""
+    return [fn(**kwargs) for fn in ALL_EXPERIMENTS.values()]
+
+
+__all__ = ["ALL_EXPERIMENTS", "ExperimentResult", "run_all"]

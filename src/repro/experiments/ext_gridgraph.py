@@ -1,0 +1,83 @@
+"""Extension experiment: MultiLogVC vs the edge-centric GridGraph (§IX).
+
+The paper compares quantitatively only against GraphChi and GraFBoost
+and argues qualitatively (§IX) that edge-centric systems like
+X-Stream/GridGraph stream efficiently but (a) cannot express
+non-mergeable vertex-centric programs and (b) degrade on sparse/random
+access.  This experiment measures both sides honestly on the shared
+substrate:
+
+* dense sweeps (PageRank) -- GridGraph's 8-byte edge stream with no
+  edge writes is hard to beat;
+* sparse frontier (BFS on the high-diameter chain graph) -- block-row
+  granularity erodes GridGraph's edge; MultiLogVC reaches parity or
+  better while *also* running the non-mergeable half of the suite,
+  which GridGraph rejects outright (reported as ``unsupported``).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..algorithms import BFSProgram, DeltaPageRankProgram, WCCProgram
+from ..baselines import GridGraph
+from ..config import DEFAULT_CONFIG
+from ..errors import EngineError
+from ..graph.datasets import bfs_chain_graph
+from .common import ExperimentResult, env_scale, load_dataset, paper_programs, run_mlvc
+
+
+def run(scale: Optional[str] = None, steps: int = 15) -> ExperimentResult:
+    scale = scale or env_scale()
+    rows: List[tuple] = []
+
+    g = load_dataset("cf", scale)
+    for label, factory in (
+        ("pagerank (dense)", lambda: DeltaPageRankProgram(threshold=0.02)),
+        ("wcc", lambda: WCCProgram()),
+    ):
+        a = run_mlvc(g, factory(), steps=steps)
+        b = GridGraph(g, factory(), DEFAULT_CONFIG).run(steps)
+        assert np.allclose(
+            np.nan_to_num(a.values, posinf=-1), np.nan_to_num(b.values, posinf=-1)
+        )
+        rows.append((label, b.total_time_us / a.total_time_us, b.total_pages / max(1, a.total_pages)))
+
+    gc, src = bfs_chain_graph(scale)
+    a = run_mlvc(gc, BFSProgram(src), steps=100)
+    b = GridGraph(gc, BFSProgram(src), DEFAULT_CONFIG).run(100)
+    rows.append(("bfs (sparse frontier)", b.total_time_us / a.total_time_us, b.total_pages / max(1, a.total_pages)))
+
+    # Generality: the non-mergeable half of the paper's suite.
+    for app, factory in paper_programs(n=g.n).items():
+        prog = factory()
+        if prog.combine is not None:
+            continue
+        try:
+            GridGraph(g, prog, DEFAULT_CONFIG)
+            status = "supported"  # pragma: no cover - must not happen
+        except EngineError:
+            status = "unsupported"
+        rows.append((f"{app} (non-mergeable)", status, "-"))
+
+    return ExperimentResult(
+        experiment="ext-gridgraph",
+        caption="Extension: MultiLogVC vs edge-centric GridGraph (paper §IX positioning)",
+        headers=["workload", "speedup over GridGraph", "page ratio"],
+        rows=rows,
+        notes=(
+            "GridGraph wins dense sweeps (tiny edge records, zero edge writes) but "
+            "cannot run non-mergeable programs at all; MultiLogVC reaches parity on "
+            "sparse frontiers while keeping full vertex-centric generality"
+        ),
+    )
+
+
+def main() -> None:
+    print(run().render())
+
+
+if __name__ == "__main__":
+    main()

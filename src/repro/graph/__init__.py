@@ -1,0 +1,22 @@
+"""Graph storage substrate: CSR, interval partitioning, shards, datasets."""
+
+from .csr import CSRGraph
+from .partition import (
+    VertexIntervals,
+    partition_by_edge_volume,
+    partition_by_update_volume,
+    uniform_partition,
+)
+from .storage import GraphOnSSD
+from .shards import Shard, ShardedGraph
+
+__all__ = [
+    "CSRGraph",
+    "VertexIntervals",
+    "partition_by_edge_volume",
+    "partition_by_update_volume",
+    "uniform_partition",
+    "GraphOnSSD",
+    "Shard",
+    "ShardedGraph",
+]

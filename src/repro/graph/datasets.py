@@ -1,0 +1,169 @@
+"""Scaled stand-ins for the paper's datasets (Table I) plus test graphs.
+
+The paper uses com-friendster (CF: 124.8 M vertices, 3.6 B edges, avg
+degree ~29) and the Yahoo WebScope crawl (YWS: 1.4 B vertices, 12.9 B
+edges, avg degree ~9).  Those are neither redistributable nor tractable
+in a Python simulation, so we generate R-MAT graphs that preserve the
+two properties the evaluation depends on:
+
+* power-law degree distribution (drives the shrinking-active-set and
+  page-underutilization effects),
+* average degree and the *relative* size of the two datasets (YWS has
+  ~4x the vertices and ~3.5x the edges of CF).
+
+Each dataset comes in three scales: ``test`` (unit tests), ``bench``
+(default for experiments and benchmarks) and ``large`` (closer-to-paper
+shape, slower).  The memory budget in :class:`repro.config.MemoryConfig`
+is scaled alongside to keep the paper's ~100:1 graph:memory ratio.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict
+
+import numpy as np
+
+from ..errors import GraphFormatError
+from .csr import CSRGraph
+from .generators import chain_edges, grid_edges, ring_edges, rmat_edges, star_edges
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """Shape parameters of one named dataset at one scale."""
+
+    name: str
+    n: int
+    m_directed: int
+    rmat_a: float
+    rmat_b: float
+    rmat_c: float
+    seed: int
+
+
+_SCALES: Dict[str, float] = {"test": 1.0 / 16.0, "bench": 1.0, "large": 4.0}
+
+# Base (bench-scale) shapes.  CF: denser social graph.  YWS: sparser,
+# more vertices, more skewed (web crawl).
+_CF_BASE = dict(n=16_384, m=240_000, a=0.57, b=0.19, c=0.19, seed=20210517)
+_YWS_BASE = dict(n=65_536, m=560_000, a=0.60, b=0.19, c=0.16, seed=20020901)
+
+
+def _build(name: str, base: dict, scale: str, weighted: bool) -> CSRGraph:
+    try:
+        f = _SCALES[scale]
+    except KeyError:
+        raise GraphFormatError(f"unknown scale {scale!r}; pick from {sorted(_SCALES)}") from None
+    n = max(64, int(base["n"] * f))
+    m = max(256, int(base["m"] * f))
+    _, src, dst = rmat_edges(n, m, base["a"], base["b"], base["c"], seed=base["seed"])
+    w = None
+    if weighted:
+        rng = np.random.default_rng(base["seed"] ^ 0x5EED)
+        w = rng.random(src.shape[0])
+    g = CSRGraph.from_edges(n, src, dst, weights=w, symmetrize=True, dedup=True)
+    return g
+
+
+def cf_like(scale: str = "bench", weighted: bool = False) -> CSRGraph:
+    """Scaled stand-in for com-friendster (social network shape)."""
+    return _build("cf", _CF_BASE, scale, weighted)
+
+
+def yws_like(scale: str = "bench", weighted: bool = False) -> CSRGraph:
+    """Scaled stand-in for the Yahoo WebScope crawl (web-graph shape)."""
+    return _build("yws", _YWS_BASE, scale, weighted)
+
+
+def dataset_by_name(name: str, scale: str = "bench", weighted: bool = False) -> CSRGraph:
+    """Lookup ``'cf'`` / ``'yws'`` (paper Table I rows) by name."""
+    table: Dict[str, Callable[..., CSRGraph]] = {"cf": cf_like, "yws": yws_like}
+    try:
+        return table[name.lower()](scale=scale, weighted=weighted)
+    except KeyError:
+        raise GraphFormatError(f"unknown dataset {name!r}; pick from {sorted(table)}") from None
+
+
+def dataset_table(scale: str = "bench") -> list:
+    """Rows mirroring paper Table I for the scaled datasets."""
+    rows = []
+    for name, label in (("cf", "com-friendster-like (CF)"), ("yws", "YahooWebScope-like (YWS)")):
+        g = dataset_by_name(name, scale)
+        rows.append((label, g.n, g.m))
+    return rows
+
+
+def bfs_chain_graph(scale: str = "bench", seed: int = 77) -> "tuple[CSRGraph, int]":
+    """High-effective-diameter graph + source for the Fig. 5 BFS sweep.
+
+    A chain of geometrically growing power-law communities (see
+    :func:`repro.graph.generators.community_chain_edges`) with vertex
+    ids randomly permuted, plus a BFS source inside the smallest (first)
+    community.  Returns ``(graph, source)``.
+    """
+    try:
+        f = _SCALES[scale]
+    except KeyError:
+        raise GraphFormatError(f"unknown scale {scale!r}; pick from {sorted(_SCALES)}") from None
+    from .generators import community_chain_edges
+
+    n = max(512, int(16_384 * f))
+    n_com = 16 if n >= 4096 else 8
+    total, src, dst = community_chain_edges(
+        n, avg_degree=12.0, n_communities=n_com, growth=2.2, bridges=3, seed=seed, shuffle=False
+    )
+    rng = np.random.default_rng(seed ^ 0xBF5)
+    perm = rng.permutation(total).astype(np.int64)
+    graph = CSRGraph.from_edges(total, perm[src], perm[dst], symmetrize=True, dedup=True)
+    return graph, int(perm[0])
+
+
+# -- tiny deterministic graphs for unit tests --------------------------------
+
+
+def tiny_paper_graph() -> CSRGraph:
+    """The 6-vertex example graph of paper Fig. 1 (1-indexed there).
+
+    Directed edges (0-indexed): 2->0, 5->0, 0->1, 2->1, 5->1, 5->2,
+    5->3, 5->4 with the figure's values as weights.
+    """
+    src = np.array([2, 5, 0, 2, 5, 5, 5, 5])
+    dst = np.array([0, 0, 1, 1, 1, 2, 3, 4])
+    w = np.array([8.0, 3.0, 4.0, 4.0, 5.0, 3.0, 2.0, 1.0])
+    return CSRGraph.from_edges(6, src, dst, weights=w)
+
+
+def small_chain(n: int = 16) -> CSRGraph:
+    n, s, d = chain_edges(n)
+    return CSRGraph.from_edges(n, s, d, symmetrize=True)
+
+
+def small_ring(n: int = 16) -> CSRGraph:
+    n, s, d = ring_edges(n)
+    return CSRGraph.from_edges(n, s, d, symmetrize=True)
+
+
+def small_star(n: int = 16) -> CSRGraph:
+    n, s, d = star_edges(n)
+    return CSRGraph.from_edges(n, s, d, symmetrize=True)
+
+
+def small_grid(rows: int = 6, cols: int = 6) -> CSRGraph:
+    n, s, d = grid_edges(rows, cols)
+    return CSRGraph.from_edges(n, s, d, symmetrize=True)
+
+
+def small_rmat(n: int = 512, m: int = 4096, seed: int = 7, weighted: bool = False) -> CSRGraph:
+    n, s, d = rmat_edges(n, m, seed=seed)
+    w = np.random.default_rng(seed).random(s.shape[0]) if weighted else None
+    return CSRGraph.from_edges(n, s, d, weights=w, symmetrize=True, dedup=True)
+
+
+def two_components(n_each: int = 8) -> CSRGraph:
+    """Two disjoint chains; exercises multi-component algorithms."""
+    _, s1, d1 = chain_edges(n_each)
+    _, s2, d2 = chain_edges(n_each)
+    src = np.concatenate([s1, s2 + n_each])
+    dst = np.concatenate([d1, d2 + n_each])
+    return CSRGraph.from_edges(2 * n_each, src, dst, symmetrize=True)

@@ -1,0 +1,210 @@
+"""Deterministic synthetic graph generators.
+
+The paper evaluates on com-friendster (social network) and the Yahoo
+WebScope crawl (web graph).  Neither is redistributable nor tractable at
+full scale here, so :mod:`repro.graph.datasets` builds scaled stand-ins
+from these generators.  The key property to preserve is the *degree
+distribution shape* (power law), because the paper's page-utilization
+and active-set effects follow from it.
+
+All generators are vectorised and take an explicit seed; the same seed
+always yields the same graph.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..errors import GraphFormatError
+
+EdgeList = Tuple[int, np.ndarray, np.ndarray]
+
+
+def rmat_edges(
+    n: int,
+    m: int,
+    a: float = 0.57,
+    b: float = 0.19,
+    c: float = 0.19,
+    seed: int = 0,
+    self_loops: bool = False,
+) -> EdgeList:
+    """Recursive-matrix (R-MAT / Graph500 style) edge generator.
+
+    Produces ``m`` directed edges over ``n = 2**k`` conceptual vertices
+    (``n`` is rounded up to a power of two internally; ids are then
+    mapped back into ``[0, n)`` with a modulo, which preserves the skew).
+    The default ``(a, b, c)`` are the Graph500 social-network
+    parameters; ``d = 1 - a - b - c``.
+
+    Returns ``(n, src, dst)``.
+    """
+    if n < 2 or m < 1:
+        raise GraphFormatError("rmat needs n >= 2 and m >= 1")
+    d = 1.0 - a - b - c
+    if min(a, b, c, d) < 0:
+        raise GraphFormatError("rmat probabilities must be non-negative")
+    rng = np.random.default_rng(seed)
+    k = int(np.ceil(np.log2(n)))
+    src = np.zeros(m, dtype=np.int64)
+    dst = np.zeros(m, dtype=np.int64)
+    # At each of the k levels, pick a quadrant per edge.
+    p_src1 = c + d  # probability the src bit is 1 (bottom half)
+    for _level in range(k):
+        r1 = rng.random(m)
+        r2 = rng.random(m)
+        src_bit = (r1 < p_src1).astype(np.int64)
+        # dst bit probability depends on src bit: P(dst=1 | src=0) = b/(a+b)
+        p_dst1 = np.where(src_bit == 0, b / max(a + b, 1e-12), d / max(c + d, 1e-12))
+        dst_bit = (r2 < p_dst1).astype(np.int64)
+        src = (src << 1) | src_bit
+        dst = (dst << 1) | dst_bit
+    src %= n
+    dst %= n
+    if not self_loops:
+        loop = src == dst
+        dst[loop] = (dst[loop] + 1) % n
+    return n, src, dst
+
+
+def erdos_renyi_edges(n: int, m: int, seed: int = 0) -> EdgeList:
+    """Uniform random directed edges without self loops."""
+    if n < 2 or m < 1:
+        raise GraphFormatError("need n >= 2 and m >= 1")
+    rng = np.random.default_rng(seed)
+    src = rng.integers(0, n, size=m, dtype=np.int64)
+    dst = rng.integers(0, n - 1, size=m, dtype=np.int64)
+    dst[dst >= src] += 1  # skip self loops uniformly
+    return n, src, dst
+
+
+def chain_edges(n: int) -> EdgeList:
+    """Path graph 0-1-2-...-(n-1), directed forward."""
+    if n < 2:
+        raise GraphFormatError("need n >= 2")
+    src = np.arange(n - 1, dtype=np.int64)
+    return n, src, src + 1
+
+
+def ring_edges(n: int) -> EdgeList:
+    """Cycle graph, directed forward."""
+    if n < 3:
+        raise GraphFormatError("need n >= 3")
+    src = np.arange(n, dtype=np.int64)
+    return n, src, (src + 1) % n
+
+
+def star_edges(n: int) -> EdgeList:
+    """Vertex 0 connected to everyone else (directed out)."""
+    if n < 2:
+        raise GraphFormatError("need n >= 2")
+    dst = np.arange(1, n, dtype=np.int64)
+    return n, np.zeros(n - 1, dtype=np.int64), dst
+
+
+def grid_edges(rows: int, cols: int) -> EdgeList:
+    """4-neighbor grid, directed right/down (symmetrize for undirected)."""
+    if rows < 1 or cols < 1:
+        raise GraphFormatError("need positive grid dimensions")
+    n = rows * cols
+    idx = np.arange(n, dtype=np.int64).reshape(rows, cols)
+    right_src = idx[:, :-1].ravel()
+    right_dst = idx[:, 1:].ravel()
+    down_src = idx[:-1, :].ravel()
+    down_dst = idx[1:, :].ravel()
+    return n, np.concatenate([right_src, down_src]), np.concatenate([right_dst, down_dst])
+
+
+def community_chain_edges(
+    n: int,
+    avg_degree: float = 12.0,
+    n_communities: int = 12,
+    growth: float = 1.5,
+    bridges: int = 3,
+    seed: int = 0,
+    shuffle: bool = True,
+) -> EdgeList:
+    """Chain of power-law communities with geometrically growing sizes.
+
+    Purpose-built for the BFS traversal-fraction experiment (paper
+    Fig. 5): R-MAT graphs have tiny diameters, so a BFS covers the whole
+    graph in a handful of supersteps and the paper's
+    gradually-expanding-frontier behaviour cannot appear.  This
+    generator produces a graph that is locally power-law (each community
+    is R-MAT) but globally high-diameter: communities are linked in a
+    chain by a few bridge edges, so a BFS from community 0 sweeps them
+    one after another.  Community sizes grow by ``growth`` along the
+    chain, which makes early traversal fractions cheap (small frontiers,
+    where active-vertex loading shines) and late fractions
+    frontier-heavy -- reproducing the paper's declining speedup curve.
+
+    Vertex ids are randomly permuted (``shuffle=True``) so that the
+    active community is spread across *all* vertex intervals -- the
+    paper's observation that shard-based frameworks must load every
+    shard even for a small active set.
+
+    Returns ``(n, src, dst)`` (directed; symmetrize when building CSR).
+    """
+    if n_communities < 2 or growth <= 0:
+        raise GraphFormatError("need >= 2 communities and positive growth")
+    rng = np.random.default_rng(seed)
+    raw_sizes = np.array([growth**i for i in range(n_communities)])
+    sizes = np.maximum(8, (raw_sizes / raw_sizes.sum() * n).astype(np.int64))
+    sizes[-1] += n - sizes.sum()  # absorb rounding in the largest community
+    if sizes[-1] < 8:
+        raise GraphFormatError("n too small for the requested community count")
+    offsets = np.concatenate([[0], np.cumsum(sizes)])
+    srcs, dsts = [], []
+    for i, size in enumerate(sizes):
+        m_i = max(int(size * avg_degree / 2), int(size))
+        _, s, d = rmat_edges(int(size), m_i, seed=seed + 101 * i + 1)
+        srcs.append(s + offsets[i])
+        dsts.append(d + offsets[i])
+        if i > 0:
+            # Bridge the previous community's hubs to this community's
+            # hubs.  R-MAT's low local ids are its highest-probability
+            # (hence connected, high-degree) vertices, so hub-to-hub
+            # bridges guarantee the chain is actually traversable.
+            k = min(bridges, int(sizes[i - 1]), int(size))
+            b_src = offsets[i - 1] + np.arange(k, dtype=np.int64)
+            b_dst = offsets[i] + np.arange(k, dtype=np.int64)
+            srcs.append(b_src)
+            dsts.append(b_dst)
+    src = np.concatenate(srcs)
+    dst = np.concatenate(dsts)
+    total = int(offsets[-1])
+    if shuffle:
+        perm = rng.permutation(total)
+        src = perm[src]
+        dst = perm[dst]
+    return total, src, dst
+
+
+def preferential_attachment_edges(n: int, m_per_node: int, seed: int = 0) -> EdgeList:
+    """Barabasi-Albert-style power-law graph (vectorised approximation).
+
+    Each new vertex attaches ``m_per_node`` edges to targets drawn from
+    the current edge endpoint multiset (classic "copying" trick), giving
+    the usual power-law in-degree tail.
+    """
+    if n < m_per_node + 1 or m_per_node < 1:
+        raise GraphFormatError("need n > m_per_node >= 1")
+    rng = np.random.default_rng(seed)
+    targets = list(range(m_per_node))
+    src_out = []
+    dst_out = []
+    repeated: list = list(range(m_per_node))
+    for v in range(m_per_node, n):
+        picks = rng.choice(len(repeated), size=m_per_node, replace=False) if len(repeated) >= m_per_node else np.arange(len(repeated))
+        chosen = {repeated[int(i)] for i in picks}
+        while len(chosen) < m_per_node:
+            chosen.add(int(rng.integers(0, v)))
+        for u in chosen:
+            src_out.append(v)
+            dst_out.append(u)
+            repeated.append(u)
+        repeated.append(v)
+    _ = targets
+    return n, np.asarray(src_out, dtype=np.int64), np.asarray(dst_out, dtype=np.int64)

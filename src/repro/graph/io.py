@@ -1,0 +1,91 @@
+"""Graph serialization: edge-list text and compressed NPZ.
+
+Provides the loader a downstream user needs to bring their own graphs
+(SNAP-format edge lists) plus a fast binary round-trip for prepared CSR
+structures.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import Optional, Union
+
+import numpy as np
+
+from ..errors import GraphFormatError
+from .csr import CSRGraph
+
+PathLike = Union[str, Path]
+
+
+def parse_edge_list(
+    text: str,
+    n: Optional[int] = None,
+    symmetrize: bool = False,
+    comment: str = "#",
+) -> CSRGraph:
+    """Parse SNAP-style whitespace-separated edge-list text.
+
+    Lines: ``src dst [weight]``.  Lines starting with ``comment`` are
+    skipped.  If ``n`` is omitted it is inferred as ``max id + 1``.
+    """
+    srcs, dsts, ws = [], [], []
+    have_w = None
+    for lineno, line in enumerate(io.StringIO(text), start=1):
+        line = line.strip()
+        if not line or line.startswith(comment):
+            continue
+        parts = line.split()
+        if len(parts) < 2:
+            raise GraphFormatError(f"line {lineno}: expected 'src dst [weight]', got {line!r}")
+        try:
+            s, d = int(parts[0]), int(parts[1])
+        except ValueError as e:
+            raise GraphFormatError(f"line {lineno}: non-integer vertex id") from e
+        w = None
+        if len(parts) >= 3:
+            try:
+                w = float(parts[2])
+            except ValueError as e:
+                raise GraphFormatError(f"line {lineno}: bad weight {parts[2]!r}") from e
+        if have_w is None:
+            have_w = w is not None
+        elif have_w != (w is not None):
+            raise GraphFormatError(f"line {lineno}: inconsistent weight columns")
+        srcs.append(s)
+        dsts.append(d)
+        if w is not None:
+            ws.append(w)
+    if not srcs:
+        raise GraphFormatError("edge list contains no edges")
+    src = np.asarray(srcs, dtype=np.int64)
+    dst = np.asarray(dsts, dtype=np.int64)
+    if src.min() < 0 or dst.min() < 0:
+        raise GraphFormatError("negative vertex id")
+    if n is None:
+        n = int(max(src.max(), dst.max())) + 1
+    weights = np.asarray(ws) if have_w else None
+    return CSRGraph.from_edges(n, src, dst, weights=weights, symmetrize=symmetrize)
+
+
+def load_edge_list(path: PathLike, **kwargs) -> CSRGraph:
+    """Parse an edge-list file from disk (see :func:`parse_edge_list`)."""
+    return parse_edge_list(Path(path).read_text(), **kwargs)
+
+
+def save_npz(graph: CSRGraph, path: PathLike) -> None:
+    """Write a CSR graph to a compressed ``.npz`` file."""
+    arrays = {"rowptr": graph.rowptr, "colidx": graph.colidx}
+    if graph.weights is not None:
+        arrays["weights"] = graph.weights
+    np.savez_compressed(Path(path), **arrays)
+
+
+def load_npz(path: PathLike) -> CSRGraph:
+    """Read a CSR graph written by :func:`save_npz`."""
+    with np.load(Path(path)) as data:
+        if "rowptr" not in data or "colidx" not in data:
+            raise GraphFormatError(f"{path}: missing rowptr/colidx arrays")
+        weights = data["weights"] if "weights" in data else None
+        return CSRGraph(data["rowptr"], data["colidx"], weights)

@@ -1,0 +1,6 @@
+"""Host-memory substrate: budget splits and page-granular staging buffers."""
+
+from .budget import MemoryBudget
+from .pagebuffer import ByteStreamPager, RecordPageBuffer
+
+__all__ = ["MemoryBudget", "ByteStreamPager", "RecordPageBuffer"]

@@ -1,0 +1,68 @@
+"""Read-amplification and page-utilization metrics (paper Fig. 3/9).
+
+Read amplification is the ratio of bytes fetched from flash to bytes
+the computation actually needed; page utilization is the per-page
+useful fraction whose histogram motivates the edge-log optimizer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List
+
+import numpy as np
+
+from ..core.results import RunResult
+
+
+@dataclass(frozen=True)
+class UtilizationSummary:
+    """Histogram summary of page useful-byte fractions."""
+
+    pages: int
+    useful_bytes: int
+    total_bytes: int
+    below_threshold: int
+    threshold: float
+
+    @property
+    def read_amplification(self) -> float:
+        return self.total_bytes / self.useful_bytes if self.useful_bytes else float("inf")
+
+    @property
+    def inefficient_fraction(self) -> float:
+        return self.below_threshold / self.pages if self.pages else 0.0
+
+
+def summarize_utilization(
+    useful_per_page: Iterable[np.ndarray], page_size: int, threshold: float = 0.10
+) -> UtilizationSummary:
+    """Aggregate per-page useful-byte arrays into a Fig. 3 style summary."""
+    arrays: List[np.ndarray] = [np.asarray(u) for u in useful_per_page]
+    if not arrays:
+        return UtilizationSummary(0, 0, 0, 0, threshold)
+    useful = np.concatenate(arrays) if len(arrays) > 1 else arrays[0]
+    pages = int(useful.shape[0])
+    frac = useful / page_size
+    below = int(np.count_nonzero((useful > 0) & (frac < threshold)))
+    return UtilizationSummary(
+        pages=pages,
+        useful_bytes=int(useful.sum()),
+        total_bytes=pages * page_size,
+        below_threshold=below,
+        threshold=threshold,
+    )
+
+
+def run_inefficiency(result: RunResult) -> float:
+    """Share of accessed data pages that were inefficiently used."""
+    accessed = sum(r.accessed_data_pages for r in result.supersteps)
+    ineff = sum(r.inefficient_pages for r in result.supersteps)
+    return ineff / accessed if accessed else 0.0
+
+
+def prediction_accuracy(result: RunResult) -> float:
+    """Fig. 9 metric: avoided inefficient pages / all inefficient pages."""
+    predicted = sum(r.inefficient_pages_predicted for r in result.supersteps)
+    total = predicted + sum(r.inefficient_pages for r in result.supersteps)
+    return predicted / total if total else 0.0

@@ -1,0 +1,77 @@
+"""Export experiment results to CSV / JSON for downstream plotting.
+
+The paper-style ASCII tables are the primary artifact; these helpers
+serialise the same rows so users can regenerate the figures with their
+plotting tool of choice::
+
+    from repro.experiments import fig5_bfs
+    from repro.metrics.export import save_csv, save_json
+
+    result = fig5_bfs.run("bench")
+    save_csv(result, "fig5.csv")
+    save_json(result, "fig5.json")
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterable, List, Union
+
+if TYPE_CHECKING:  # avoid a circular import; results are duck-typed
+    from ..experiments.common import ExperimentResult
+
+PathLike = Union[str, Path]
+
+
+def _coerce(value):
+    """Make a cell JSON/CSV safe."""
+    if hasattr(value, "item"):  # numpy scalar
+        value = value.item()
+    return value
+
+
+def result_records(result: "ExperimentResult") -> List[dict]:
+    """Rows as dictionaries keyed by the result's headers."""
+    keys = [str(h) for h in result.headers]
+    return [
+        {k: _coerce(c) for k, c in zip(keys, row)}
+        for row in result.rows
+    ]
+
+
+def save_csv(result: "ExperimentResult", path: PathLike) -> Path:
+    """Write one experiment's rows as CSV (header row included)."""
+    path = Path(path)
+    with path.open("w", newline="") as f:
+        writer = csv.writer(f)
+        writer.writerow([str(h) for h in result.headers])
+        for row in result.rows:
+            writer.writerow([_coerce(c) for c in row])
+    return path
+
+
+def save_json(result: "ExperimentResult", path: PathLike) -> Path:
+    """Write one experiment (caption, notes, rows) as JSON."""
+    path = Path(path)
+    payload = {
+        "experiment": result.experiment,
+        "caption": result.caption,
+        "notes": result.notes,
+        "headers": [str(h) for h in result.headers],
+        "rows": result_records(result),
+    }
+    path.write_text(json.dumps(payload, indent=2, default=_coerce))
+    return path
+
+
+def save_all(results: Iterable["ExperimentResult"], directory: PathLike) -> List[Path]:
+    """Dump a collection of experiments as ``<dir>/<experiment>.{csv,json}``."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    written: List[Path] = []
+    for r in results:
+        written.append(save_csv(r, directory / f"{r.experiment}.csv"))
+        written.append(save_json(r, directory / f"{r.experiment}.json"))
+    return written

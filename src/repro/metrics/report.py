@@ -1,0 +1,81 @@
+"""Paper-style fixed-width table and series rendering.
+
+Every experiment module prints its results through these helpers so the
+benchmark harness output reads like the paper's tables/figures: one
+header row, aligned columns, and a short caption naming the paper
+artifact being reproduced.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 10:
+            return f"{value:.2f}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence],
+    caption: Optional[str] = None,
+) -> str:
+    """Render an aligned ASCII table with an optional caption line."""
+    str_rows: List[List[str]] = [[_fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if caption:
+        lines.append(caption)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_series(
+    x_label: str,
+    y_label: str,
+    xs: Sequence,
+    ys: Sequence[float],
+    caption: Optional[str] = None,
+    width: int = 40,
+) -> str:
+    """Render an (x, y) series with a proportional ASCII bar per row.
+
+    The text stand-in for the paper's line/bar figures: the bar lengths
+    make the *shape* (who wins, where the crossover is) readable at a
+    glance in terminal output.
+    """
+    ys = [float(y) for y in ys]
+    top = max((abs(y) for y in ys), default=1.0) or 1.0
+    lines = []
+    if caption:
+        lines.append(caption)
+    lines.append(f"{x_label:>12} | {y_label}")
+    for x, y in zip(xs, ys):
+        bar = "#" * max(0, int(round(width * abs(y) / top)))
+        lines.append(f"{_fmt(x):>12} | {_fmt(y):>10} {bar}")
+    return "\n".join(lines)
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean (the right average for speedups)."""
+    vals = [v for v in values if v > 0]
+    if not vals:
+        return 0.0
+    import math
+
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))

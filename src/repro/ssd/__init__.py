@@ -1,0 +1,22 @@
+"""Simulated flash-storage substrate.
+
+Stands in for the paper's Samsung 860 EVO + Linux async-IO stack: a
+deterministic page-granular, multi-channel SSD with per-class I/O
+accounting.  See DESIGN.md §2 for why this substitution preserves the
+paper's results.
+"""
+
+from .device import SimulatedSSD
+from .file import ArrayFile, PageFile, pages_for_ranges
+from .filesystem import SimFS
+from .stats import IOCounter, SSDStats
+
+__all__ = [
+    "SimulatedSSD",
+    "ArrayFile",
+    "PageFile",
+    "pages_for_ranges",
+    "SimFS",
+    "IOCounter",
+    "SSDStats",
+]

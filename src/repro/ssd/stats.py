@@ -1,0 +1,140 @@
+"""I/O accounting for the simulated SSD.
+
+Every read/write batch issued to :class:`repro.ssd.device.SimulatedSSD`
+is recorded here, broken down by *storage class* -- a short string naming
+what kind of data the pages hold (``"mlog"``, ``"csr_col"``, ``"shard"``,
+...).  The paper's evaluation is essentially a story about which classes
+of pages each engine touches, so per-class counters are the primary
+output of a simulation run.
+
+:class:`SSDStats` supports snapshot/diff so engines can attribute I/O to
+individual supersteps: ``after - before`` yields the delta.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable
+
+
+@dataclass
+class IOCounter:
+    """Counts for one direction (read or write) of one storage class."""
+
+    batches: int = 0
+    pages: int = 0
+    bytes: int = 0
+    time_us: float = 0.0
+
+    def add(self, pages: int, nbytes: int, time_us: float) -> None:
+        self.batches += 1
+        self.pages += pages
+        self.bytes += nbytes
+        self.time_us += time_us
+
+    def copy(self) -> "IOCounter":
+        return IOCounter(self.batches, self.pages, self.bytes, self.time_us)
+
+    def __sub__(self, other: "IOCounter") -> "IOCounter":
+        return IOCounter(
+            self.batches - other.batches,
+            self.pages - other.pages,
+            self.bytes - other.bytes,
+            self.time_us - other.time_us,
+        )
+
+    def __iadd__(self, other: "IOCounter") -> "IOCounter":
+        self.batches += other.batches
+        self.pages += other.pages
+        self.bytes += other.bytes
+        self.time_us += other.time_us
+        return self
+
+
+@dataclass
+class SSDStats:
+    """Aggregate I/O statistics, per storage class and per direction."""
+
+    reads: Dict[str, IOCounter] = field(default_factory=dict)
+    writes: Dict[str, IOCounter] = field(default_factory=dict)
+
+    # -- recording -----------------------------------------------------
+
+    def record_read(self, klass: str, pages: int, nbytes: int, time_us: float) -> None:
+        self.reads.setdefault(klass, IOCounter()).add(pages, nbytes, time_us)
+
+    def record_write(self, klass: str, pages: int, nbytes: int, time_us: float) -> None:
+        self.writes.setdefault(klass, IOCounter()).add(pages, nbytes, time_us)
+
+    # -- aggregate views -----------------------------------------------
+
+    @property
+    def pages_read(self) -> int:
+        return sum(c.pages for c in self.reads.values())
+
+    @property
+    def pages_written(self) -> int:
+        return sum(c.pages for c in self.writes.values())
+
+    @property
+    def bytes_read(self) -> int:
+        return sum(c.bytes for c in self.reads.values())
+
+    @property
+    def bytes_written(self) -> int:
+        return sum(c.bytes for c in self.writes.values())
+
+    @property
+    def read_time_us(self) -> float:
+        return sum(c.time_us for c in self.reads.values())
+
+    @property
+    def write_time_us(self) -> float:
+        return sum(c.time_us for c in self.writes.values())
+
+    @property
+    def total_time_us(self) -> float:
+        return self.read_time_us + self.write_time_us
+
+    @property
+    def total_pages(self) -> int:
+        return self.pages_read + self.pages_written
+
+    def pages_read_for(self, klasses: Iterable[str]) -> int:
+        return sum(self.reads[k].pages for k in klasses if k in self.reads)
+
+    # -- snapshot / diff -----------------------------------------------
+
+    def snapshot(self) -> "SSDStats":
+        """Deep copy of the current counters."""
+        return SSDStats(
+            reads={k: c.copy() for k, c in self.reads.items()},
+            writes={k: c.copy() for k, c in self.writes.items()},
+        )
+
+    def __sub__(self, other: "SSDStats") -> "SSDStats":
+        """Delta between two snapshots (``self`` taken after ``other``)."""
+        out = SSDStats()
+        for k, c in self.reads.items():
+            out.reads[k] = c - other.reads.get(k, IOCounter())
+        for k, c in self.writes.items():
+            out.writes[k] = c - other.writes.get(k, IOCounter())
+        return out
+
+    def merge(self, other: "SSDStats") -> None:
+        """Accumulate ``other`` into this instance."""
+        for k, c in other.reads.items():
+            existing = self.reads.setdefault(k, IOCounter())
+            existing += c
+        for k, c in other.writes.items():
+            existing = self.writes.setdefault(k, IOCounter())
+            existing += c
+
+    def summary_rows(self) -> list:
+        """Rows of (class, dir, batches, pages, MiB, ms) for reporting."""
+        rows = []
+        for direction, table in (("read", self.reads), ("write", self.writes)):
+            for klass in sorted(table):
+                c = table[klass]
+                rows.append((klass, direction, c.batches, c.pages, c.bytes / 2**20, c.time_us / 1e3))
+        return rows

@@ -1,0 +1,196 @@
+"""Algorithm correctness against independent references."""
+
+import numpy as np
+import pytest
+
+from repro.core import MultiLogVC
+from repro.algorithms import (
+    BFSProgram,
+    CommunityDetectionProgram,
+    DeltaPageRankProgram,
+    GraphColoringProgram,
+    MISProgram,
+    RandomWalkProgram,
+    SSSPProgram,
+    WCCProgram,
+    bfs_reference,
+    cdlp_reference,
+    coloring_is_proper,
+    is_independent_set,
+    is_maximal,
+    pagerank_reference,
+    sssp_reference,
+    wcc_reference,
+)
+from repro.algorithms.coloring import conflict_count, free_colors, smallest_free_color
+from repro.algorithms.cdlp import frequent_label
+from repro.graph.datasets import small_chain, small_grid, small_ring, small_rmat, small_star
+
+
+def norm_dist(d):
+    return np.where(np.isfinite(d), d, -1.0)
+
+
+class TestBFS:
+    @pytest.mark.parametrize("make", [small_chain, small_ring, small_star, small_grid])
+    def test_matches_reference_on_topologies(self, cfg, make):
+        g = make()
+        res = MultiLogVC(g, BFSProgram(0), cfg).run(100)
+        assert np.array_equal(norm_dist(res.values), norm_dist(bfs_reference(g, 0)))
+
+    def test_rmat(self, cfg, rmat256):
+        res = MultiLogVC(rmat256, BFSProgram(3), cfg, min_intervals=4).run(100)
+        assert np.array_equal(norm_dist(res.values), norm_dist(bfs_reference(rmat256, 3)))
+
+    def test_unreachable_stay_infinite(self, cfg, two_comp):
+        res = MultiLogVC(two_comp, BFSProgram(0), cfg).run(100)
+        assert not np.isfinite(res.values[10:]).any()
+
+    def test_stop_fraction(self, cfg, rmat256):
+        full = MultiLogVC(rmat256, BFSProgram(0), cfg).run(100)
+        partial = MultiLogVC(rmat256, BFSProgram(0, stop_fraction=0.2), cfg).run(100)
+        assert partial.n_supersteps <= full.n_supersteps
+        assert np.isfinite(partial.values).mean() >= 0.2
+
+    def test_reference_on_disconnected(self, two_comp):
+        d = bfs_reference(two_comp, 0)
+        assert np.isfinite(d[:10]).all() and not np.isfinite(d[10:]).any()
+
+
+class TestPageRank:
+    def test_converges_to_fixed_point(self, cfg, rmat256):
+        res = MultiLogVC(rmat256, DeltaPageRankProgram(threshold=1e-10), cfg).run(200)
+        ref = pagerank_reference(rmat256)
+        assert np.abs(res.values - ref).max() < 1e-6
+
+    def test_ranks_positive_and_bounded_below(self, cfg, rmat256):
+        res = MultiLogVC(rmat256, DeltaPageRankProgram(threshold=1e-6), cfg).run(50)
+        assert (res.values >= 1.0 - 0.85 - 1e-12).all()
+
+    def test_threshold_trades_accuracy_for_supersteps(self, cfg, rmat256):
+        loose = MultiLogVC(rmat256, DeltaPageRankProgram(threshold=0.1), cfg).run(200)
+        tight = MultiLogVC(rmat256, DeltaPageRankProgram(threshold=1e-8), cfg).run(200)
+        ref = pagerank_reference(rmat256)
+        assert np.abs(tight.values - ref).max() < np.abs(loose.values - ref).max()
+        assert loose.n_supersteps <= tight.n_supersteps
+
+    def test_reference_mass_conservation(self, rmat256):
+        # Unnormalised PR fixed point satisfies the recurrence everywhere.
+        r = pagerank_reference(rmat256, iterations=300)
+        deg = rmat256.out_degrees.astype(float)
+        inv = np.divide(1.0, deg, out=np.zeros_like(deg), where=deg > 0)
+        src, dst = rmat256.edge_array()
+        rhs = np.full(rmat256.n, 0.15)
+        np.add.at(rhs, dst, 0.85 * (r * inv)[src])
+        assert np.abs(rhs - r).max() < 1e-6
+
+
+class TestCDLP:
+    def test_matches_lockstep_reference(self, cfg, rmat256):
+        res = MultiLogVC(rmat256, CommunityDetectionProgram(), cfg, min_intervals=4).run(15)
+        assert np.array_equal(res.values, cdlp_reference(rmat256, 15))
+
+    def test_ring_converges_to_single_label(self, cfg):
+        g = small_ring(8)
+        res = MultiLogVC(g, CommunityDetectionProgram(), cfg).run(30)
+        # Min-tie-breaking floods label 0 around the ring.
+        assert res.values.max() <= 1.0
+
+    def test_frequent_label_tie_breaks_small(self):
+        assert frequent_label(np.array([2.0, 1.0, 2.0, 1.0])) == 1.0
+        assert frequent_label(np.array([5.0])) == 5.0
+
+
+class TestColoring:
+    @pytest.mark.parametrize("make", [small_chain, small_ring, small_grid])
+    def test_proper_on_topologies(self, cfg, make):
+        g = make()
+        res = MultiLogVC(g, GraphColoringProgram(), cfg).run(60)
+        assert res.converged
+        assert coloring_is_proper(g, res.values)
+
+    def test_proper_on_rmat(self, cfg, rmat256):
+        res = MultiLogVC(rmat256, GraphColoringProgram(), cfg, min_intervals=4).run(60)
+        assert res.converged and coloring_is_proper(rmat256, res.values)
+        assert conflict_count(rmat256, res.values) == 0
+
+    def test_colors_bounded_by_degree(self, cfg, rmat256):
+        res = MultiLogVC(rmat256, GraphColoringProgram(), cfg).run(60)
+        assert res.values.max() <= rmat256.out_degrees.max() + 1
+
+    def test_helpers(self):
+        assert smallest_free_color(np.array([0.0, 1.0, 3.0])) == 2.0
+        assert smallest_free_color(np.array([1.0, 2.0])) == 0.0
+        assert list(free_colors(np.array([0.0, 2.0]), 3)) == [1, 3, 4]
+
+
+class TestMIS:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_independent_and_maximal(self, cfg, rmat256, seed):
+        res = MultiLogVC(rmat256, MISProgram(seed=seed), cfg).run(80)
+        assert res.converged
+        assert is_independent_set(rmat256, res.values)
+        assert is_maximal(rmat256, res.values)
+
+    def test_isolated_vertices_in_set(self, cfg, two_comp):
+        res = MultiLogVC(two_comp, MISProgram(seed=0), cfg).run(80)
+        assert is_independent_set(two_comp, res.values)
+        assert is_maximal(two_comp, res.values)
+
+    def test_star_picks_center_or_all_leaves(self, cfg, star16):
+        res = MultiLogVC(star16, MISProgram(seed=0), cfg).run(80)
+        assert is_independent_set(star16, res.values)
+        assert is_maximal(star16, res.values)
+
+
+class TestRandomWalk:
+    def test_walker_conservation(self, cfg, rmat256):
+        prog = RandomWalkProgram(source_stride=32, walkers_per_source=4, max_steps=10, seed=1)
+        res = MultiLogVC(rmat256, prog, cfg).run(12)
+        n_src = prog.sources(rmat256.n).shape[0]
+        # Connected power-law core: walkers rarely die; visits are at most
+        # walkers * (steps + 1) and at least walkers (the arrival visit).
+        total = res.values.sum()
+        assert total <= n_src * 4 * 11
+        assert total >= n_src * 4
+
+    def test_visits_only_near_sources_on_chain(self, cfg):
+        g = small_chain(64)
+        prog = RandomWalkProgram(source_stride=64, walkers_per_source=2, max_steps=3, seed=0)
+        res = MultiLogVC(g, prog, cfg).run(5)
+        assert res.values[:5].sum() > 0
+        assert res.values[10:].sum() == 0
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            RandomWalkProgram(source_stride=0)
+
+
+class TestWCC:
+    def test_two_components(self, cfg, two_comp):
+        res = MultiLogVC(two_comp, WCCProgram(), cfg).run(100)
+        assert np.array_equal(res.values, wcc_reference(two_comp))
+
+    def test_rmat(self, cfg, rmat256):
+        res = MultiLogVC(rmat256, WCCProgram(), cfg, min_intervals=4).run(300)
+        assert np.array_equal(res.values, wcc_reference(rmat256))
+
+
+class TestSSSP:
+    def test_matches_dijkstra(self, cfg, rmat256w):
+        res = MultiLogVC(rmat256w, SSSPProgram(0), cfg, min_intervals=4).run(300)
+        ref = sssp_reference(rmat256w, 0)
+        finite = np.isfinite(ref)
+        assert np.abs(res.values[finite] - ref[finite]).max() < 1e-9
+        assert not np.isfinite(res.values[~finite]).any()
+
+    def test_weighted_chain(self, cfg):
+        import numpy as np
+        from repro.graph import CSRGraph
+
+        n = 10
+        src = np.arange(n - 1)
+        w = np.arange(1.0, n)
+        g = CSRGraph.from_edges(n, src, src + 1, weights=w, symmetrize=True)
+        res = MultiLogVC(g, SSSPProgram(0), cfg).run(50)
+        assert res.values[-1] == pytest.approx(w.sum())

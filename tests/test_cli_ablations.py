@@ -1,0 +1,95 @@
+"""CLI behaviour and ablation experiments."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.experiments import ablations
+
+
+class TestCLI:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig5" in out and "ablations" in out
+
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "SSD" in out and "memory" in out
+
+    def test_run_unknown_experiment(self, capsys):
+        assert main(["run", "fig99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_run_table1(self, capsys):
+        assert main(["run", "table1", "--scale", "test"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out
+        assert "regenerated" in out
+
+    def test_run_fig2_with_datasets(self, capsys):
+        assert main(["run", "fig2", "--scale", "test", "--datasets", "cf"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 2" in out
+
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestAblations:
+    def test_edgelog_ablation(self):
+        r = ablations.run_edgelog("test", steps=8)
+        on, off = r.rows
+        assert on[0] == "on" and off[0] == "off"
+        assert on[1] <= off[1]  # edge log never increases colidx reads
+        assert off[2] == 0  # no edgelog pages when disabled
+
+    def test_fusing_ablation(self):
+        r = ablations.run_fusing("test", steps=8)
+        on, off = r.rows
+        assert on[1] <= off[1]  # fusing lowers read-batch count
+        # page totals identical: fusing changes batching, not data
+        assert on[2] == off[2]
+
+    def test_channel_ablation_monotone(self):
+        r = ablations.run_channels("test", steps=8)
+        times = [row[1] for row in r.rows]
+        assert times == sorted(times, reverse=True)
+
+    def test_history_window_ablation(self):
+        r = ablations.run_history_window("test", steps=8)
+        logged = [row[1] for row in r.rows]
+        assert logged[0] <= logged[-1]
+
+    def test_run_all_wrapper(self):
+        results = ablations.run("test", steps=4)
+        assert len(results) == 4
+        assert all(res.rows for res in results)
+
+
+class TestPreprocessing:
+    def test_costs_positive_and_ordered(self):
+        from repro.experiments import ext_preprocessing
+
+        r = ext_preprocessing.run("test")
+        by = {row[1]: row for row in r.rows}
+        assert set(by) == set(ext_preprocessing.ENGINES)
+        for row in r.rows:
+            assert row[2] > 0 and row[3] > 0 and row[5] > 0
+        # GraphChi's 16-byte shard records cost more writes than CSR builds.
+        assert by["graphchi"][3] > by["multilogvc"][3]
+
+    def test_gridgraph_needs_no_sort(self):
+        from repro.experiments import ext_preprocessing
+        from repro.graph.datasets import cf_like
+
+        c = ext_preprocessing.preprocessing_cost("gridgraph", cf_like("test"))
+        assert c["sort_passes"] == 0
+
+    def test_unknown_engine(self):
+        from repro.experiments import ext_preprocessing
+        from repro.graph.datasets import cf_like
+
+        with pytest.raises(ValueError):
+            ext_preprocessing.preprocessing_cost("nope", cf_like("test"))

@@ -1,0 +1,205 @@
+"""Edge-log optimizer and structural-update buffering."""
+
+import numpy as np
+import pytest
+
+from repro.core.edgelog import EdgeLogOptimizer
+from repro.core.mutation import MutationBuffer
+from repro.errors import ProgramError
+from repro.graph import GraphOnSSD, uniform_partition
+from repro.mem import MemoryBudget
+from repro.ssd import SimFS
+
+
+@pytest.fixture
+def elog(cfg):
+    fs = SimFS(cfg)
+    budget = MemoryBudget.resolve(cfg, 4)
+    return fs, EdgeLogOptimizer(fs, 100, cfg, budget)
+
+
+class TestEdgeLogOptimizer:
+    def test_requires_both_conditions(self, elog):
+        fs, e = elog
+        assert not e.consider(1, 10, predicted_active=False, page_inefficient=True)
+        assert not e.consider(1, 10, predicted_active=True, page_inefficient=False)
+        assert not e.consider(1, 0, predicted_active=True, page_inefficient=True)
+        assert e.consider(1, 10, predicted_active=True, page_inefficient=True)
+        assert e.vertices_logged == 1
+
+    def test_visible_only_after_rotation(self, elog):
+        fs, e = elog
+        e.consider(1, 10, True, True)
+        assert not e.contains(1)
+        e.end_superstep()
+        assert e.contains(1)
+        assert e.current_coverage == 1
+
+    def test_expires_after_one_superstep(self, elog):
+        fs, e = elog
+        e.consider(1, 10, True, True)
+        e.end_superstep()
+        e.end_superstep()
+        assert not e.contains(1)
+
+    def test_contains_many(self, elog):
+        fs, e = elog
+        e.consider(3, 5, True, True)
+        e.consider(7, 5, True, True)
+        e.end_superstep()
+        mask = e.contains_many(np.array([1, 3, 7]))
+        assert list(mask) == [False, True, True]
+
+    def test_pages_shared_between_vertices(self, elog, cfg):
+        fs, e = elog
+        # Two small vertices fit in one page.
+        e.consider(1, 3, True, True)
+        e.consider(2, 3, True, True)
+        e.end_superstep()
+        pages = e.pages_of(np.array([1, 2]))
+        assert pages.shape[0] == 1
+
+    def test_high_degree_vertex_spans_pages(self, elog, cfg):
+        fs, e = elog
+        big = 2 * cfg.ssd.page_size // cfg.records.edgelog_entry_bytes
+        e.consider(1, big, True, True)
+        e.end_superstep()
+        assert e.pages_of(np.array([1])).shape[0] >= 2
+
+    def test_charge_read(self, elog):
+        fs, e = elog
+        e.consider(1, 10, True, True)
+        e.end_superstep()
+        t, n = e.charge_read(np.array([1]))
+        assert t > 0 and n == 1
+        assert fs.stats.reads["edgelog"].pages == 1
+
+    def test_charge_read_no_hits(self, elog):
+        fs, e = elog
+        e.end_superstep()
+        t, n = e.charge_read(np.array([5]))
+        assert t == 0.0 and n == 0
+
+    def test_writes_charged_on_flush(self, elog):
+        fs, e = elog
+        e.consider(1, 10, True, True)
+        e.end_superstep()
+        assert fs.stats.writes.get("edgelog") is not None
+
+
+@pytest.fixture
+def storage(cfg, rmat256w):
+    fs = SimFS(cfg)
+    iv = uniform_partition(rmat256w.n, 4)
+    return fs, GraphOnSSD(rmat256w, iv, fs, cfg, with_weights=True)
+
+
+class TestMutationBuffer:
+    def test_add_edge_overlay(self, storage, cfg, rmat256w):
+        fs, gos = storage
+        mb = MutationBuffer(gos, cfg)
+        v = 0
+        new_dst = int(rmat256w.n - 1)
+        before = gos.neighbors(v).copy()
+        if new_dst in before:
+            new_dst -= 1
+        mb.add_edge(v, new_dst, 2.0)
+        nb, wt = mb.overlay_adjacency(v, gos.neighbors(v), gos.weights(v))
+        assert new_dst in nb.tolist()
+        assert len(nb) == len(before) + 1
+        assert (np.diff(nb) >= 0).all()
+
+    def test_remove_edge_overlay(self, storage, cfg, rmat256w):
+        fs, gos = storage
+        mb = MutationBuffer(gos, cfg)
+        v = 0
+        target = int(gos.neighbors(v)[0])
+        mb.remove_edge(v, target)
+        nb, _ = mb.overlay_adjacency(v, gos.neighbors(v), gos.weights(v))
+        assert target not in nb.tolist()
+
+    def test_overlay_noop_for_untouched_vertex(self, storage, cfg):
+        fs, gos = storage
+        mb = MutationBuffer(gos, cfg)
+        nb0 = gos.neighbors(5)
+        nb, wt = mb.overlay_adjacency(5, nb0, gos.weights(5))
+        assert nb is nb0
+
+    def test_add_then_remove_cancels(self, storage, cfg, rmat256w):
+        fs, gos = storage
+        mb = MutationBuffer(gos, cfg)
+        v, u = 0, int(rmat256w.n - 1)
+        mb.add_edge(v, u)
+        mb.remove_edge(v, u)
+        nb, _ = mb.overlay_adjacency(v, gos.neighbors(v), gos.weights(v))
+        assert u not in nb.tolist() or u in gos.neighbors(v).tolist()
+
+    def test_merge_applies_edits(self, storage, cfg):
+        fs, gos = storage
+        mb = MutationBuffer(gos, cfg)
+        v = 0
+        old = gos.neighbors(v).copy()
+        removed = int(old[0])
+        mb.remove_edge(v, removed)
+        i = gos.intervals.interval_of_one(v)
+        mb.merge_interval(i)
+        assert removed not in gos.neighbors(v).tolist()
+        assert mb.pending(i) == 0
+        assert mb.merges == 1
+
+    def test_merge_charges_io(self, storage, cfg):
+        fs, gos = storage
+        mb = MutationBuffer(gos, cfg)
+        mb.add_edge(0, 200, 1.0)
+        before = fs.stats.total_pages
+        mb.merge_interval(0)
+        assert fs.stats.total_pages > before
+        assert mb.io_time_us > 0
+
+    def test_merge_preserves_untouched_vertices(self, storage, cfg, rmat256w):
+        fs, gos = storage
+        mb = MutationBuffer(gos, cfg)
+        mb.add_edge(0, 200, 1.0)
+        other = 3
+        before = gos.neighbors(other).copy()
+        mb.merge_interval(0)
+        assert np.array_equal(gos.neighbors(other), before)
+
+    def test_merge_ready_threshold(self, storage, cfg):
+        import dataclasses
+
+        fs, gos = storage
+        cfg2 = dataclasses.replace(cfg, mutation_merge_threshold=2)
+        mb = MutationBuffer(gos, cfg2)
+        mb.add_edge(0, 200)
+        mb.merge_ready()
+        assert mb.merges == 0  # below threshold
+        mb.add_edge(0, 201)
+        mb.merge_ready()
+        assert mb.merges == 1
+
+    def test_merge_all(self, storage, cfg):
+        fs, gos = storage
+        mb = MutationBuffer(gos, cfg)
+        mb.add_edge(0, 200)
+        mb.add_edge(100, 5)
+        mb.merge_all()
+        assert mb.total_pending == 0
+        assert mb.merges == 2
+
+    def test_rejects_out_of_range(self, storage, cfg):
+        fs, gos = storage
+        mb = MutationBuffer(gos, cfg)
+        with pytest.raises(ProgramError):
+            mb.add_edge(0, 10**6)
+        with pytest.raises(ProgramError):
+            mb.remove_edge(-1, 0)
+
+    def test_rebuild_csr_after_merge(self, storage, cfg):
+        fs, gos = storage
+        mb = MutationBuffer(gos, cfg)
+        mb.add_edge(0, 200, 3.0)
+        mb.merge_all()
+        g2 = gos.rebuild_csr()
+        g2.validate()
+        assert 200 in g2.neighbors(0).tolist()

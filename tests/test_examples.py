@@ -1,0 +1,27 @@
+"""Smoke tests: every shipped example runs green end to end."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted((Path(__file__).parent.parent / "examples").glob("*.py"))
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=[p.stem for p in EXAMPLES])
+def test_example_runs(script):
+    proc = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert proc.returncode == 0, f"{script.name} failed:\n{proc.stderr[-2000:]}"
+    assert proc.stdout.strip(), f"{script.name} produced no output"
+
+
+def test_examples_exist():
+    assert len(EXAMPLES) >= 3, "at least three runnable examples required"
+    names = {p.stem for p in EXAMPLES}
+    assert "quickstart" in names

@@ -1,0 +1,203 @@
+"""Failure injection: every layer must fail loudly on misuse."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro import (
+    BudgetExceededError,
+    ConfigError,
+    EngineError,
+    GraphFormatError,
+    MultiLogVC,
+    ProgramError,
+    ReproError,
+    StorageError,
+)
+from repro.config import MemoryConfig, SimConfig, SSDConfig, small_test_config
+from repro.core import InitialState, VertexProgram
+from repro.graph import CSRGraph
+from repro.ssd import SimFS, SimulatedSSD
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [ConfigError, StorageError, BudgetExceededError, GraphFormatError, EngineError, ProgramError],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+
+    def test_catchable_as_base(self):
+        with pytest.raises(ReproError):
+            raise ProgramError("x")
+
+
+class TestConfigInjection:
+    def test_zero_channels(self):
+        with pytest.raises(ConfigError):
+            SimConfig(ssd=SSDConfig(channels=0))
+
+    def test_absurd_fractions(self):
+        with pytest.raises(ConfigError):
+            SimConfig(memory=MemoryConfig(sort_fraction=0.99, multilog_fraction=0.005, edgelog_fraction=0.01))
+
+    def test_sort_budget_too_small_for_one_update(self):
+        with pytest.raises(ConfigError):
+            SimConfig(
+                ssd=SSDConfig(page_size=512),
+                memory=MemoryConfig(total_bytes=2048, sort_fraction=0.005, multilog_fraction=0.5, edgelog_fraction=0.1),
+            )
+
+
+class TestStorageInjection:
+    def test_read_beyond_file(self, fs):
+        f = fs.create_page_file("log", "x")
+        f.append_page("a")
+        with pytest.raises(StorageError):
+            f.read_pages(np.array([0, 5]))
+
+    def test_negative_page_ids(self, fs):
+        f = fs.create_page_file("log", "x")
+        f.append_page("a")
+        with pytest.raises(StorageError):
+            f.read_pages(np.array([-1]))
+
+    def test_double_create(self, fs):
+        fs.create_page_file("dup", "x")
+        with pytest.raises(StorageError):
+            fs.create_array_file("dup", "x", np.zeros(1), 8)
+
+    def test_device_rejects_foreign_channels(self, cfg):
+        dev = SimulatedSSD(cfg)
+        with pytest.raises(StorageError):
+            dev.write_batch([cfg.ssd.channels + 3], "x")
+
+
+class TestGraphInjection:
+    def test_empty_partition(self):
+        g = CSRGraph.from_edges(4, [0], [1])
+        from repro.graph.partition import partition_by_update_volume
+
+        with pytest.raises(GraphFormatError):
+            partition_by_update_volume(g, -5, 16)
+
+    def test_zero_vertex_graph(self):
+        from repro.graph.partition import partition_by_update_volume
+
+        g = CSRGraph(np.array([0]), np.empty(0, np.int32))
+        with pytest.raises(GraphFormatError):
+            partition_by_update_volume(g, 100, 16)
+
+
+class _Base(VertexProgram):
+    name = "probe"
+
+    def initial(self, graph, rng):
+        return InitialState(values=np.zeros(graph.n), active=np.array([0]))
+
+    def process(self, ctx):
+        ctx.deactivate()
+
+
+class TestProgramInjection:
+    def test_send_to_negative_vertex(self, cfg, chain16):
+        class P(_Base):
+            def process(self, ctx):
+                ctx.send(-5, 1.0)
+
+        with pytest.raises(ProgramError):
+            MultiLogVC(chain16, P(), cfg).run(1)
+
+    def test_send_many_shape_mismatch(self, cfg, chain16):
+        class P(_Base):
+            def process(self, ctx):
+                ctx.send_many(np.array([1, 2]), np.array([1.0]))
+
+        with pytest.raises(ProgramError):
+            MultiLogVC(chain16, P(), cfg).run(1)
+
+    def test_edge_state_without_declaration(self, cfg, chain16):
+        class P(_Base):
+            def process(self, ctx):
+                ctx.set_edge_state(int(ctx.out_neighbors[0]), 1.0)
+
+        with pytest.raises(ProgramError):
+            MultiLogVC(chain16, P(), cfg).run(1)
+
+    def test_neighbor_index_of_non_neighbor(self, cfg, chain16):
+        class P(_Base):
+            uses_edge_state = True
+
+            def process(self, ctx):
+                ctx.neighbor_index(15)  # vertex 0's only neighbor is 1
+
+        with pytest.raises(ProgramError):
+            MultiLogVC(chain16, P(), cfg).run(1)
+
+    def test_invalid_combine_at_class_creation(self):
+        with pytest.raises(ProgramError):
+
+            class Bad(VertexProgram):  # noqa: F811
+                combine = "median"
+
+                def initial(self, graph, rng):  # pragma: no cover
+                    ...
+
+                def process(self, ctx):  # pragma: no cover
+                    ...
+
+    def test_graphchi_rejects_mutating_program(self, cfg, chain16):
+        from repro.baselines import GraphChi
+
+        class P(_Base):
+            mutates_structure = True
+
+        with pytest.raises(EngineError):
+            GraphChi(chain16, P(), cfg)
+
+    def test_grafboost_rejects_mutating_program(self, cfg, chain16):
+        from repro.baselines import GraFBoost
+
+        class P(_Base):
+            mutates_structure = True
+
+        with pytest.raises(EngineError):
+            GraFBoost(chain16, P(), cfg, adapted=True)
+
+    def test_graphchi_rejects_non_edge_send(self, cfg, chain16):
+        from repro.baselines import GraphChi
+
+        class P(_Base):
+            def process(self, ctx):
+                # vertex 0 sends to vertex 9: no such edge on a chain
+                ctx._send(9, ctx.vid, 1.0)
+
+        with pytest.raises(ProgramError):
+            GraphChi(chain16, P(), cfg).run(1)
+
+    def test_grafboost_invalid_fanout(self, cfg, chain16):
+        from repro.baselines import GraFBoost
+        from repro.algorithms import WCCProgram
+
+        with pytest.raises(EngineError):
+            GraFBoost(chain16, WCCProgram(), cfg, merge_fanout=1)
+
+
+class TestProcessCrashPropagates:
+    def test_engine_does_not_swallow_program_errors(self, cfg, chain16):
+        class Boom(_Base):
+            def process(self, ctx):
+                raise RuntimeError("kaboom")
+
+        with pytest.raises(RuntimeError, match="kaboom"):
+            MultiLogVC(chain16, Boom(), cfg).run(2)
+
+    def test_bad_initial_active_out_of_range(self, cfg, chain16):
+        class P(_Base):
+            def initial(self, graph, rng):
+                return InitialState(values=np.zeros(graph.n), active=np.array([999]))
+
+        with pytest.raises(Exception):
+            MultiLogVC(chain16, P(), cfg).run(1)

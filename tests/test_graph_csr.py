@@ -1,0 +1,137 @@
+"""CSRGraph construction, invariants and conversions."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.graph import CSRGraph
+from repro.graph.datasets import tiny_paper_graph
+
+
+class TestFromEdges:
+    def test_basic(self):
+        g = CSRGraph.from_edges(3, [0, 0, 1], [1, 2, 2])
+        assert g.n == 3 and g.m == 3
+        assert list(g.neighbors(0)) == [1, 2]
+        assert list(g.neighbors(1)) == [2]
+        assert list(g.neighbors(2)) == []
+
+    def test_neighbors_sorted(self):
+        g = CSRGraph.from_edges(4, [0, 0, 0], [3, 1, 2])
+        assert list(g.neighbors(0)) == [1, 2, 3]
+
+    def test_symmetrize(self):
+        g = CSRGraph.from_edges(3, [0], [1], symmetrize=True)
+        assert list(g.neighbors(0)) == [1]
+        assert list(g.neighbors(1)) == [0]
+        assert g.m == 2
+
+    def test_symmetrize_keeps_weights(self):
+        g = CSRGraph.from_edges(3, [0], [1], weights=[2.5], symmetrize=True)
+        assert g.weight_slice(0)[0] == 2.5
+        assert g.weight_slice(1)[0] == 2.5
+
+    def test_dedup(self):
+        g = CSRGraph.from_edges(3, [0, 0, 0], [1, 1, 2], dedup=True)
+        assert g.m == 2
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(GraphFormatError):
+            CSRGraph.from_edges(2, [0], [2])
+        with pytest.raises(GraphFormatError):
+            CSRGraph.from_edges(2, [-1], [0])
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(GraphFormatError):
+            CSRGraph.from_edges(3, [0, 1], [1])
+        with pytest.raises(GraphFormatError):
+            CSRGraph.from_edges(3, [0, 1], [1, 2], weights=[1.0])
+
+    def test_empty_graph(self):
+        g = CSRGraph.from_edges(5, np.empty(0, np.int64), np.empty(0, np.int64))
+        assert g.n == 5 and g.m == 0
+        assert g.out_degree(3) == 0
+
+
+class TestInvariants:
+    def test_validate_rejects_bad_rowptr_start(self):
+        with pytest.raises(GraphFormatError):
+            CSRGraph(np.array([1, 2]), np.array([0, 1], dtype=np.int32))
+
+    def test_validate_rejects_decreasing_rowptr(self):
+        with pytest.raises(GraphFormatError):
+            CSRGraph(np.array([0, 2, 1]), np.array([0, 1], dtype=np.int32))
+
+    def test_validate_rejects_rowptr_colidx_mismatch(self):
+        with pytest.raises(GraphFormatError):
+            CSRGraph(np.array([0, 3]), np.array([0], dtype=np.int32))
+
+    def test_validate_rejects_colidx_out_of_range(self):
+        with pytest.raises(GraphFormatError):
+            CSRGraph(np.array([0, 1]), np.array([5], dtype=np.int32))
+
+    def test_validate_rejects_weight_mismatch(self):
+        with pytest.raises(GraphFormatError):
+            CSRGraph(np.array([0, 1]), np.array([0], dtype=np.int32), np.array([1.0, 2.0]))
+
+
+class TestAccessors:
+    def test_degrees(self, rmat256):
+        g = rmat256
+        assert int(g.out_degrees.sum()) == g.m
+        assert int(g.in_degrees.sum()) == g.m
+        # symmetric graph: in == out
+        assert np.array_equal(g.out_degrees, g.in_degrees)
+
+    def test_edge_range(self):
+        g = CSRGraph.from_edges(3, [0, 0, 1], [1, 2, 2])
+        assert g.edge_range(0) == (0, 2)
+        assert g.edge_range(1) == (2, 3)
+
+    def test_edge_array_roundtrip(self, rmat256):
+        src, dst = rmat256.edge_array()
+        g2 = CSRGraph.from_edges(rmat256.n, src, dst)
+        assert np.array_equal(g2.rowptr, rmat256.rowptr)
+        assert np.array_equal(g2.colidx, rmat256.colidx)
+
+    def test_edges_iterator(self):
+        g = CSRGraph.from_edges(3, [0, 1], [1, 2])
+        assert list(g.edges()) == [(0, 1), (1, 2)]
+
+    def test_with_unit_weights(self):
+        g = CSRGraph.from_edges(3, [0], [1])
+        gw = g.with_unit_weights()
+        assert gw.weights is not None and (gw.weights == 1.0).all()
+        # idempotent on already weighted graphs
+        assert gw.with_unit_weights() is gw
+
+
+class TestNetworkxRoundtrip:
+    def test_to_from_networkx(self):
+        g = tiny_paper_graph()
+        nxg = g.to_networkx()
+        assert nxg.number_of_nodes() == g.n
+        assert nxg.number_of_edges() == g.m
+        g2 = CSRGraph.from_networkx(nxg, weight_attr="weight")
+        assert np.array_equal(g2.rowptr, g.rowptr)
+        assert np.array_equal(g2.colidx, g.colidx)
+        assert np.allclose(g2.weights, g.weights)
+
+    def test_from_undirected_networkx(self):
+        import networkx as nx
+
+        nxg = nx.path_graph(5)
+        g = CSRGraph.from_networkx(nxg)
+        assert g.m == 8  # 4 undirected edges, symmetrized
+        assert list(g.neighbors(2)) == [1, 3]
+
+
+class TestPaperGraph:
+    def test_matches_figure_1(self, paper_graph):
+        g = paper_graph
+        # Vertex 6 (index 5) has out-edges to vertices 1..5 (indices 0..4).
+        assert list(g.neighbors(5)) == [0, 1, 2, 3, 4]
+        # Vertex 3 (index 2) points at 1 and 2 (indices 0, 1).
+        assert list(g.neighbors(2)) == [0, 1]
+        # Edge values from the CSR figure.
+        assert g.weight_slice(0)[0] == 4.0  # edge 1->2 has value 4

@@ -1,0 +1,135 @@
+"""Named datasets and graph serialization."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.graph.datasets import (
+    bfs_chain_graph,
+    cf_like,
+    dataset_by_name,
+    dataset_table,
+    small_grid,
+    tiny_paper_graph,
+    two_components,
+    yws_like,
+)
+from repro.graph.io import load_edge_list, load_npz, parse_edge_list, save_npz
+
+
+class TestDatasets:
+    def test_cf_scales(self):
+        t = cf_like("test")
+        b = cf_like("bench")
+        assert b.n > t.n and b.m > t.m
+
+    def test_yws_larger_than_cf(self):
+        cf = cf_like("test")
+        yws = yws_like("test")
+        assert yws.n > cf.n
+        assert yws.m > cf.m
+
+    def test_yws_sparser_than_cf(self):
+        cf = cf_like("test")
+        yws = yws_like("test")
+        assert yws.m / yws.n < cf.m / cf.n
+
+    def test_datasets_symmetric(self):
+        g = cf_like("test")
+        assert np.array_equal(g.out_degrees, g.in_degrees)
+
+    def test_weighted_variant(self):
+        g = cf_like("test", weighted=True)
+        assert g.weights is not None and g.weights.shape[0] == g.m
+
+    def test_by_name(self):
+        assert dataset_by_name("CF", "test").n == cf_like("test").n
+        with pytest.raises(GraphFormatError):
+            dataset_by_name("nope")
+
+    def test_unknown_scale(self):
+        with pytest.raises(GraphFormatError):
+            cf_like("huge")
+
+    def test_dataset_table(self):
+        rows = dataset_table("test")
+        assert len(rows) == 2
+        assert all(len(r) == 3 for r in rows)
+
+    def test_deterministic(self):
+        a, b = cf_like("test"), cf_like("test")
+        assert np.array_equal(a.colidx, b.colidx)
+
+    def test_bfs_chain_graph(self):
+        g, src = bfs_chain_graph("test")
+        assert 0 <= src < g.n
+        assert g.out_degree(src) > 0
+
+    def test_tiny_graphs(self):
+        assert tiny_paper_graph().n == 6
+        assert small_grid(3, 3).n == 9
+        assert two_components(5).n == 10
+
+
+class TestEdgeListIO:
+    def test_parse_basic(self):
+        g = parse_edge_list("0 1\n1 2\n")
+        assert g.n == 3 and g.m == 2
+
+    def test_parse_with_weights(self):
+        g = parse_edge_list("0 1 2.5\n1 2 1.5\n")
+        assert g.weights is not None
+        assert g.weight_slice(0)[0] == 2.5
+
+    def test_comments_and_blanks_skipped(self):
+        g = parse_edge_list("# header\n\n0 1\n# mid\n1 2\n")
+        assert g.m == 2
+
+    def test_explicit_n(self):
+        g = parse_edge_list("0 1\n", n=10)
+        assert g.n == 10
+
+    def test_symmetrize(self):
+        g = parse_edge_list("0 1\n", symmetrize=True)
+        assert g.m == 2
+
+    def test_bad_lines(self):
+        with pytest.raises(GraphFormatError):
+            parse_edge_list("0\n")
+        with pytest.raises(GraphFormatError):
+            parse_edge_list("a b\n")
+        with pytest.raises(GraphFormatError):
+            parse_edge_list("0 1 x\n")
+        with pytest.raises(GraphFormatError):
+            parse_edge_list("0 1 1.0\n1 2\n")  # inconsistent weights
+        with pytest.raises(GraphFormatError):
+            parse_edge_list("")
+        with pytest.raises(GraphFormatError):
+            parse_edge_list("-1 0\n")
+
+    def test_file_roundtrip(self, tmp_path):
+        p = tmp_path / "edges.txt"
+        p.write_text("0 1\n1 2\n2 0\n")
+        g = load_edge_list(p)
+        assert g.m == 3
+
+
+class TestNpzIO:
+    def test_roundtrip(self, tmp_path, rmat256w):
+        p = tmp_path / "g.npz"
+        save_npz(rmat256w, p)
+        g2 = load_npz(p)
+        assert np.array_equal(g2.rowptr, rmat256w.rowptr)
+        assert np.array_equal(g2.colidx, rmat256w.colidx)
+        assert np.allclose(g2.weights, rmat256w.weights)
+
+    def test_roundtrip_unweighted(self, tmp_path, rmat256):
+        p = tmp_path / "g.npz"
+        save_npz(rmat256, p)
+        assert load_npz(p).weights is None
+
+    def test_missing_arrays(self, tmp_path):
+        p = tmp_path / "bad.npz"
+        np.savez(p, foo=np.zeros(3))
+        with pytest.raises(GraphFormatError):
+            load_npz(p)

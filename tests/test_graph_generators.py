@@ -1,0 +1,131 @@
+"""Synthetic graph generators: determinism, ranges, structure."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.graph.csr import CSRGraph
+from repro.graph.generators import (
+    chain_edges,
+    community_chain_edges,
+    erdos_renyi_edges,
+    grid_edges,
+    preferential_attachment_edges,
+    ring_edges,
+    rmat_edges,
+    star_edges,
+)
+
+
+class TestRmat:
+    def test_deterministic(self):
+        _, s1, d1 = rmat_edges(128, 1000, seed=5)
+        _, s2, d2 = rmat_edges(128, 1000, seed=5)
+        assert np.array_equal(s1, s2) and np.array_equal(d1, d2)
+
+    def test_seed_changes_output(self):
+        _, s1, _ = rmat_edges(128, 1000, seed=5)
+        _, s2, _ = rmat_edges(128, 1000, seed=6)
+        assert not np.array_equal(s1, s2)
+
+    def test_ids_in_range(self):
+        n, s, d = rmat_edges(100, 5000, seed=1)
+        assert s.min() >= 0 and s.max() < n
+        assert d.min() >= 0 and d.max() < n
+
+    def test_no_self_loops_by_default(self):
+        _, s, d = rmat_edges(64, 2000, seed=2)
+        assert not np.any(s == d)
+
+    def test_power_law_skew(self):
+        n, s, d = rmat_edges(1024, 20000, seed=3)
+        deg = np.bincount(s, minlength=n)
+        # The busiest vertex should far exceed the mean out-degree.
+        assert deg.max() > 10 * deg.mean()
+
+    def test_invalid_args(self):
+        with pytest.raises(GraphFormatError):
+            rmat_edges(1, 10)
+        with pytest.raises(GraphFormatError):
+            rmat_edges(10, 10, a=-0.5)
+
+
+class TestSimpleTopologies:
+    def test_chain(self):
+        n, s, d = chain_edges(5)
+        assert list(s) == [0, 1, 2, 3]
+        assert list(d) == [1, 2, 3, 4]
+
+    def test_ring(self):
+        n, s, d = ring_edges(4)
+        assert list(d) == [1, 2, 3, 0]
+
+    def test_star(self):
+        n, s, d = star_edges(5)
+        assert set(s) == {0}
+        assert set(d) == {1, 2, 3, 4}
+
+    def test_grid(self):
+        n, s, d = grid_edges(2, 3)
+        assert n == 6
+        assert len(s) == 2 * 2 + 1 * 3  # right edges + down edges
+
+    def test_validation(self):
+        for fn, bad in ((chain_edges, 1), (ring_edges, 2), (star_edges, 1)):
+            with pytest.raises(GraphFormatError):
+                fn(bad)
+        with pytest.raises(GraphFormatError):
+            grid_edges(0, 3)
+
+
+class TestErdosRenyi:
+    def test_no_self_loops(self):
+        _, s, d = erdos_renyi_edges(50, 2000, seed=0)
+        assert not np.any(s == d)
+
+    def test_deterministic(self):
+        _, s1, _ = erdos_renyi_edges(50, 100, seed=9)
+        _, s2, _ = erdos_renyi_edges(50, 100, seed=9)
+        assert np.array_equal(s1, s2)
+
+
+class TestPreferentialAttachment:
+    def test_shape_and_range(self):
+        n, s, d = preferential_attachment_edges(60, 3, seed=4)
+        assert n == 60
+        assert s.min() >= 0 and d.max() < n
+
+    def test_invalid(self):
+        with pytest.raises(GraphFormatError):
+            preferential_attachment_edges(3, 3)
+
+
+class TestCommunityChain:
+    def test_connected_via_bridges(self):
+        total, s, d = community_chain_edges(2048, n_communities=6, growth=1.5, seed=1, shuffle=False)
+        g = CSRGraph.from_edges(total, s, d, symmetrize=True, dedup=True)
+        from repro.algorithms.bfs import bfs_reference
+
+        dist = bfs_reference(g, 0)
+        # A large majority of vertices must be reachable from community 0.
+        assert np.isfinite(dist).mean() > 0.5
+
+    def test_high_diameter(self):
+        total, s, d = community_chain_edges(2048, n_communities=8, growth=1.8, seed=1, shuffle=False)
+        g = CSRGraph.from_edges(total, s, d, symmetrize=True, dedup=True)
+        from repro.algorithms.bfs import bfs_reference
+
+        dist = bfs_reference(g, 0)
+        finite = dist[np.isfinite(dist)]
+        # Must take at least one hop per community boundary.
+        assert finite.max() >= 8
+
+    def test_shuffle_permutes_ids(self):
+        t1, s1, d1 = community_chain_edges(512, n_communities=4, seed=2, shuffle=False)
+        t2, s2, d2 = community_chain_edges(512, n_communities=4, seed=2, shuffle=True)
+        assert t1 == t2
+        assert not np.array_equal(s1, s2)
+
+    def test_invalid(self):
+        with pytest.raises(GraphFormatError):
+            community_chain_edges(100, n_communities=1)

@@ -1,0 +1,102 @@
+"""Vertex-interval partitioning invariants (paper §V-A1)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.graph import (
+    CSRGraph,
+    VertexIntervals,
+    partition_by_edge_volume,
+    partition_by_update_volume,
+    uniform_partition,
+)
+
+
+class TestVertexIntervals:
+    def test_basic(self):
+        iv = VertexIntervals(np.array([0, 3, 7, 10]))
+        assert iv.n_intervals == 3
+        assert iv.n_vertices == 10
+        assert iv.span(1) == (3, 7)
+        assert list(iv.sizes()) == [3, 4, 3]
+
+    def test_interval_of(self):
+        iv = VertexIntervals(np.array([0, 3, 7, 10]))
+        assert list(iv.interval_of(np.array([0, 2, 3, 6, 7, 9]))) == [0, 0, 1, 1, 2, 2]
+        assert iv.interval_of_one(9) == 2
+
+    def test_iteration(self):
+        iv = VertexIntervals(np.array([0, 2, 4]))
+        assert list(iv) == [(0, 0, 2), (1, 2, 4)]
+
+    def test_rejects_bad_boundaries(self):
+        with pytest.raises(GraphFormatError):
+            VertexIntervals(np.array([1, 2]))
+        with pytest.raises(GraphFormatError):
+            VertexIntervals(np.array([0, 2, 2]))
+        with pytest.raises(GraphFormatError):
+            VertexIntervals(np.array([0]))
+
+
+class TestPartitionByUpdateVolume:
+    def test_covers_all_vertices(self, rmat256):
+        iv = partition_by_update_volume(rmat256, 4096, 16)
+        assert iv.n_vertices == rmat256.n
+        assert iv.boundaries[0] == 0
+
+    def test_respects_budget(self, rmat256):
+        budget = 4096
+        iv = partition_by_update_volume(rmat256, budget, 16)
+        indeg = rmat256.in_degrees
+        for i, lo, hi in iv:
+            vol = int(indeg[lo:hi].sum()) * 16
+            # Single-vertex intervals may exceed (degenerate hub case).
+            if hi - lo > 1:
+                assert vol <= budget
+
+    def test_hub_gets_own_interval(self):
+        # One vertex with in-degree far above the budget.
+        src = np.zeros(100, dtype=np.int64)
+        src[:] = np.arange(100) % 10 + 1
+        dst = np.zeros(100, dtype=np.int64)
+        g = CSRGraph.from_edges(11, src, dst)
+        iv = partition_by_update_volume(g, 16 * 10, 16)
+        assert iv.size(0) == 1  # the hub is alone
+
+    def test_min_intervals(self, rmat256):
+        iv = partition_by_update_volume(rmat256, 10**9, 16, min_intervals=8)
+        assert iv.n_intervals >= 8
+
+    def test_big_budget_single_interval(self, rmat256):
+        iv = partition_by_update_volume(rmat256, 10**9, 16)
+        assert iv.n_intervals == 1
+
+    def test_invalid_args(self, rmat256):
+        with pytest.raises(GraphFormatError):
+            partition_by_update_volume(rmat256, 0, 16)
+        with pytest.raises(GraphFormatError):
+            partition_by_update_volume(rmat256, 100, 0)
+
+    def test_edge_volume_variant(self, rmat256):
+        iv = partition_by_edge_volume(rmat256, 8192, 16)
+        assert iv.n_vertices == rmat256.n
+
+
+class TestUniformPartition:
+    def test_even_split(self):
+        iv = uniform_partition(100, 4)
+        assert iv.n_intervals == 4
+        assert list(iv.sizes()) == [25, 25, 25, 25]
+
+    def test_more_intervals_than_vertices(self):
+        iv = uniform_partition(3, 10)
+        assert iv.n_intervals == 3
+
+    def test_single(self):
+        iv = uniform_partition(10, 1)
+        assert iv.n_intervals == 1 and iv.n_vertices == 10
+
+    def test_invalid(self):
+        with pytest.raises(GraphFormatError):
+            uniform_partition(0, 1)

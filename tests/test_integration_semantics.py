@@ -1,0 +1,160 @@
+"""Cross-cutting semantic integration tests.
+
+These pin behaviours that span several components: async mode against
+sync, combine interplay, determinism of whole experiments, and record
+consistency guarantees that downstream analysis relies on.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import GraFBoost, GraphChi, GridGraph
+from repro.core import MultiLogVC
+from repro.config import small_test_config
+from repro.algorithms import (
+    BFSProgram,
+    CommunityDetectionProgram,
+    DeltaPageRankProgram,
+    GraphColoringProgram,
+    MISProgram,
+    SSSPProgram,
+    WCCProgram,
+    bfs_reference,
+    sssp_reference,
+)
+from repro.graph.datasets import small_rmat, small_star, two_components
+
+
+class TestAsyncMode:
+    def test_async_bfs_correct(self, cfg, rmat256):
+        res = MultiLogVC(rmat256, BFSProgram(0), cfg, mode="async").run(60)
+        ref = bfs_reference(rmat256, 0)
+        # Async may relax distances faster but the fixed point is the same.
+        assert np.array_equal(
+            np.nan_to_num(res.values, posinf=-1), np.nan_to_num(ref, posinf=-1)
+        )
+
+    def test_async_sssp_correct(self, cfg, rmat256w):
+        res = MultiLogVC(rmat256w, SSSPProgram(0), cfg, mode="async").run(120)
+        ref = sssp_reference(rmat256w, 0)
+        fin = np.isfinite(ref)
+        assert np.abs(res.values[fin] - ref[fin]).max() < 1e-9
+
+    def test_async_never_slower_in_supersteps(self, cfg, two_comp):
+        sync = MultiLogVC(two_comp, WCCProgram(), cfg, mode="sync").run(100)
+        asy = MultiLogVC(two_comp, WCCProgram(), cfg, mode="async").run(100)
+        assert asy.n_supersteps <= sync.n_supersteps
+
+    def test_async_with_edgelog(self, cfg, rmat256):
+        res = MultiLogVC(
+            rmat256, BFSProgram(0), cfg, mode="async", enable_edgelog=True
+        ).run(60)
+        assert res.converged
+
+
+class TestCombineInterplay:
+    def test_combine_reduces_processed_updates(self, cfg, rmat256):
+        full = MultiLogVC(rmat256, GraphColoringProgram(seed=0), cfg).run(3)
+        comb = MultiLogVC(rmat256, WCCProgram(), cfg).run(3)
+        # WCC (min-combine) processes at most one update per active vertex.
+        for r in comb.supersteps:
+            assert r.updates_processed <= r.active_vertices
+        # Non-mergeable coloring may process many per vertex.
+        assert any(r.updates_processed > r.active_vertices for r in full.supersteps)
+
+    def test_messages_sent_counts_raw_sends(self, cfg, rmat256):
+        res = MultiLogVC(rmat256, WCCProgram(), cfg).run(3)
+        # Superstep 0: every vertex broadcasts -> sends equal sum of degrees.
+        assert res.supersteps[0].messages_sent == rmat256.m
+
+
+class TestDeterminism:
+    def test_every_engine_deterministic(self, cfg, rmat256):
+        for make in (
+            lambda: MultiLogVC(rmat256, MISProgram(seed=2), cfg),
+            lambda: GraphChi(rmat256, MISProgram(seed=2), cfg),
+            lambda: GraFBoost(rmat256, WCCProgram(), cfg),
+            lambda: GridGraph(rmat256, WCCProgram(), cfg),
+        ):
+            a = make().run(20, seed=5)
+            b = make().run(20, seed=5)
+            assert np.array_equal(a.values, b.values)
+            assert a.total_time_us == b.total_time_us
+            assert a.total_pages == b.total_pages
+
+    def test_experiment_rows_reproducible(self):
+        from repro.experiments import fig5_bfs
+
+        r1 = fig5_bfs.run("test", fractions=(0.5,))
+        r2 = fig5_bfs.run("test", fractions=(0.5,))
+        assert r1.rows == r2.rows
+
+
+class TestRecordConsistency:
+    @pytest.fixture
+    def runs(self, cfg, rmat256):
+        return [
+            MultiLogVC(rmat256, CommunityDetectionProgram(), cfg).run(8),
+            GraphChi(rmat256, CommunityDetectionProgram(), cfg).run(8),
+            GraFBoost(rmat256, WCCProgram(), cfg).run(8),
+            GridGraph(rmat256, WCCProgram(), cfg).run(8),
+        ]
+
+    def test_pages_by_class_sums_to_pages_read(self, runs):
+        for res in runs:
+            for rec in res.supersteps:
+                assert sum(rec.pages_read_by_class.values()) == rec.pages_read
+
+    def test_superstep_indices_contiguous(self, runs):
+        for res in runs:
+            assert [r.index for r in res.supersteps] == list(range(res.n_supersteps))
+
+    def test_totals_are_sums_of_superstep_deltas(self, runs):
+        for res in runs:
+            assert sum(r.pages_read for r in res.supersteps) == res.pages_read
+            assert sum(r.pages_written for r in res.supersteps) == res.pages_written
+            assert sum(r.storage_time_us for r in res.supersteps) == pytest.approx(
+                res.storage_time_us
+            )
+
+    def test_storage_class_vocabulary(self, runs):
+        known = {
+            "csr_row",
+            "csr_col",
+            "csr_val",
+            "mlog",
+            "edgelog",
+            "shard",
+            "gflog",
+            "gfsort",
+            "grid",
+            "grid_w",
+            "grid_v",
+        }
+        for res in runs:
+            for table in (res.stats.reads, res.stats.writes):
+                assert set(table) <= known, set(table) - known
+
+
+class TestDegenerateGraphs:
+    def test_star_graph_all_engines(self, cfg, star16):
+        for make in (
+            lambda: MultiLogVC(star16, WCCProgram(), cfg),
+            lambda: GraphChi(star16, WCCProgram(), cfg),
+            lambda: GraFBoost(star16, WCCProgram(), cfg),
+            lambda: GridGraph(star16, WCCProgram(), cfg),
+        ):
+            res = make().run(20)
+            assert (res.values == 0).all()  # one component rooted at 0
+
+    def test_vertex_with_no_edges(self, cfg):
+        g = two_components(4)
+        res = MultiLogVC(g, DeltaPageRankProgram(threshold=1e-4), cfg).run(200)
+        assert res.converged
+
+    def test_tight_memory_still_correct(self, rmat256):
+        cfg = small_test_config(total_bytes=96 * 1024)
+        res = MultiLogVC(rmat256, CommunityDetectionProgram(), cfg).run(15)
+        from repro.algorithms import cdlp_reference
+
+        assert np.array_equal(res.values, cdlp_reference(rmat256, 15))

@@ -1,0 +1,94 @@
+"""Metrics: tables, series, activity traces, utilization summaries."""
+
+import numpy as np
+import pytest
+
+from repro.config import small_test_config
+from repro.core import MultiLogVC
+from repro.algorithms import GraphColoringProgram
+from repro.metrics import (
+    activity_trace,
+    geometric_mean,
+    prediction_accuracy,
+    render_series,
+    render_table,
+    run_inefficiency,
+    shrinkage,
+    summarize_utilization,
+)
+
+
+class TestReport:
+    def test_render_table_alignment(self):
+        out = render_table(["a", "bbb"], [(1, 2.5), (100, 0.123)], caption="cap")
+        lines = out.splitlines()
+        assert lines[0] == "cap"
+        assert "a" in lines[1] and "bbb" in lines[1]
+        assert len(lines) == 5
+
+    def test_render_table_formats_floats(self):
+        out = render_table(["x"], [(1234.5,), (0.5678,), (float("nan"),)])
+        assert "1,234" in out or "1,235" in out
+        assert "0.568" in out
+        assert "nan" in out
+
+    def test_render_series_bars_proportional(self):
+        out = render_series("x", "y", [1, 2], [1.0, 2.0], width=10)
+        lines = out.splitlines()
+        assert lines[-1].count("#") == 10
+        assert lines[-2].count("#") == 5
+
+    def test_render_series_zero(self):
+        out = render_series("x", "y", [1], [0.0])
+        assert "#" not in out
+
+    def test_geometric_mean(self):
+        assert geometric_mean([2.0, 8.0]) == pytest.approx(4.0)
+        assert geometric_mean([]) == 0.0
+        assert geometric_mean([0.0, -3.0]) == 0.0
+
+
+class TestUtilization:
+    def test_summary(self):
+        useful = [np.array([10, 4096, 100])]
+        s = summarize_utilization(useful, page_size=4096, threshold=0.10)
+        assert s.pages == 3
+        assert s.below_threshold == 2
+        assert s.inefficient_fraction == pytest.approx(2 / 3)
+        assert s.read_amplification == pytest.approx(3 * 4096 / (10 + 4096 + 100))
+
+    def test_empty(self):
+        s = summarize_utilization([], page_size=4096)
+        assert s.pages == 0 and s.inefficient_fraction == 0.0
+        assert s.read_amplification == float("inf")
+
+    def test_zero_useful_pages_not_counted_inefficient(self):
+        s = summarize_utilization([np.array([0, 0])], 4096)
+        assert s.below_threshold == 0
+
+
+class TestRunDerivedMetrics:
+    @pytest.fixture
+    def run(self, rmat256):
+        cfg = small_test_config()
+        return MultiLogVC(rmat256, GraphColoringProgram(), cfg, min_intervals=4).run(15), rmat256
+
+    def test_activity_trace(self, run):
+        res, g = run
+        tr = activity_trace(res, g, "rmat")
+        assert tr.active_vertices.shape[0] == res.n_supersteps
+        assert (tr.vertex_fraction <= 1.0).all()
+        assert tr.rows()[0][1] == res.supersteps[0].active_vertices
+
+    def test_shrinkage_positive(self, run):
+        res, g = run
+        tr = activity_trace(res, g, "rmat")
+        assert shrinkage(tr) >= 1.0
+
+    def test_run_inefficiency_bounds(self, run):
+        res, _ = run
+        assert 0.0 <= run_inefficiency(res) <= 1.0
+
+    def test_prediction_accuracy_bounds(self, run):
+        res, _ = run
+        assert 0.0 <= prediction_accuracy(res) <= 1.0

@@ -1,0 +1,101 @@
+"""Property-based tests over engine substrates (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import small_test_config
+from repro.graph import CSRGraph, ShardedGraph, uniform_partition
+from repro.ssd import SimFS
+
+CFG = small_test_config()
+
+
+edge_sets = st.integers(4, 24).flatmap(
+    lambda n: st.tuples(
+        st.just(n),
+        st.sets(
+            st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)).filter(
+                lambda e: e[0] != e[1]
+            ),
+            min_size=1,
+            max_size=80,
+        ),
+    )
+)
+
+
+class TestShardProperties:
+    @given(edge_sets, st.integers(1, 5))
+    @settings(max_examples=40, deadline=None)
+    def test_shards_partition_edges_exactly(self, data, k):
+        n, edges = data
+        src = np.array([e[0] for e in edges])
+        dst = np.array([e[1] for e in edges])
+        g = CSRGraph.from_edges(n, src, dst, symmetrize=True, dedup=True)
+        sg = ShardedGraph(g, SimFS(CFG), CFG, intervals=uniform_partition(n, k))
+        collected = []
+        for s in sg.shards:
+            collected.extend(zip(s.src.tolist(), s.dst.tolist()))
+        assert sorted(collected) == sorted(g.edges())
+
+    @given(edge_sets, st.integers(1, 4))
+    @settings(max_examples=30, deadline=None)
+    def test_in_edges_complete(self, data, k):
+        n, edges = data
+        src = np.array([e[0] for e in edges])
+        dst = np.array([e[1] for e in edges])
+        g = CSRGraph.from_edges(n, src, dst, symmetrize=True, dedup=True)
+        sg = ShardedGraph(g, SimFS(CFG), CFG, intervals=uniform_partition(n, k))
+        indeg = g.in_degrees
+        for v in range(n):
+            srcs, _ = sg.in_edge_state(v)
+            assert srcs.shape[0] == indeg[v]
+
+    @given(edge_sets)
+    @settings(max_examples=30, deadline=None)
+    def test_deliver_exactly_to_existing_edges(self, data):
+        n, edges = data
+        src = np.array([e[0] for e in edges])
+        dst = np.array([e[1] for e in edges])
+        g = CSRGraph.from_edges(n, src, dst, symmetrize=True, dedup=True)
+        sg = ShardedGraph(g, SimFS(CFG), CFG, intervals=uniform_partition(n, 2))
+        edge_set = set(g.edges())
+        for u in range(n):
+            for w in range(n):
+                assert sg.deliver(u, w, 1.0, stamp=1) == ((u, w) in edge_set)
+
+
+class TestEngineProperties:
+    @given(
+        st.integers(8, 64),
+        st.integers(0, 10_000),
+        st.sampled_from([1, 2, 4]),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_wcc_always_matches_reference(self, n, seed, k):
+        from repro.core import MultiLogVC
+        from repro.graph.generators import erdos_renyi_edges
+        from repro.algorithms import WCCProgram, wcc_reference
+
+        _, s, d = erdos_renyi_edges(n, max(1, n * 2), seed=seed)
+        g = CSRGraph.from_edges(n, s, d, symmetrize=True, dedup=True)
+        res = MultiLogVC(g, WCCProgram(), CFG, min_intervals=k).run(4 * n)
+        assert np.array_equal(res.values, wcc_reference(g))
+
+    @given(st.integers(8, 48), st.integers(0, 10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_bfs_distances_triangle_inequality(self, n, seed):
+        from repro.core import MultiLogVC
+        from repro.graph.generators import erdos_renyi_edges
+        from repro.algorithms import BFSProgram
+
+        _, s, d = erdos_renyi_edges(n, max(1, n * 2), seed=seed)
+        g = CSRGraph.from_edges(n, s, d, symmetrize=True, dedup=True)
+        res = MultiLogVC(g, BFSProgram(0), CFG).run(4 * n)
+        dist = res.values
+        # Adjacent vertices differ by at most one hop.
+        for u, v in g.edges():
+            if np.isfinite(dist[u]):
+                assert dist[v] <= dist[u] + 1

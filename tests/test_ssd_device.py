@@ -1,0 +1,102 @@
+"""Timing model and accounting of the simulated SSD device."""
+
+import numpy as np
+import pytest
+
+from repro.config import small_test_config
+from repro.errors import StorageError
+from repro.ssd import SimulatedSSD
+
+
+@pytest.fixture
+def dev(cfg):
+    return SimulatedSSD(cfg)
+
+
+class TestBatchTiming:
+    def test_empty_batch_is_free(self, dev):
+        assert dev.read_batch([], "x") == 0.0
+        assert dev.write_batch(np.empty(0, np.int64), "x") == 0.0
+        assert dev.stats.pages_read == 0
+
+    def test_single_page_cost(self, dev, cfg):
+        t = dev.read_batch([0], "x")
+        assert t == pytest.approx(cfg.ssd.batch_overhead_us + cfg.ssd.read_latency_us)
+
+    def test_perfectly_spread_batch_is_parallel(self, dev, cfg):
+        c = cfg.ssd.channels
+        t = dev.read_batch(list(range(c)), "x")
+        assert t == pytest.approx(cfg.ssd.batch_overhead_us + cfg.ssd.read_latency_us)
+
+    def test_same_channel_serialises(self, dev, cfg):
+        t = dev.read_batch([1, 1, 1], "x")
+        assert t == pytest.approx(cfg.ssd.batch_overhead_us + 3 * cfg.ssd.read_latency_us)
+
+    def test_write_uses_write_latency(self, dev, cfg):
+        t = dev.write_batch([0], "x")
+        assert t == pytest.approx(cfg.ssd.batch_overhead_us + cfg.ssd.write_latency_us)
+
+    def test_imbalanced_batch_pays_max_channel(self, dev, cfg):
+        t = dev.read_batch([0, 0, 1], "x")
+        assert t == pytest.approx(cfg.ssd.batch_overhead_us + 2 * cfg.ssd.read_latency_us)
+
+    def test_channel_out_of_range_rejected(self, dev, cfg):
+        with pytest.raises(StorageError):
+            dev.read_batch([cfg.ssd.channels], "x")
+        with pytest.raises(StorageError):
+            dev.read_batch([-1], "x")
+
+    def test_2d_channels_rejected(self, dev):
+        with pytest.raises(StorageError):
+            dev.read_batch(np.zeros((2, 2), dtype=np.int64), "x")
+
+
+class TestSequentialHelpers:
+    def test_sequential_read_reaches_peak_bandwidth(self, dev, cfg):
+        n = 64 * cfg.ssd.channels
+        t = dev.sequential_read_time(n, "seq")
+        bw = dev.achieved_read_bandwidth(n, t)
+        # >= 80% of peak, the paper's §VI achieved-bandwidth claim.
+        assert bw >= 0.8 * cfg.ssd.peak_read_bandwidth_mbps
+
+    def test_sequential_write(self, dev, cfg):
+        t = dev.sequential_write_time(cfg.ssd.channels, "seq")
+        assert t == pytest.approx(cfg.ssd.batch_overhead_us + cfg.ssd.write_latency_us)
+
+    def test_zero_pages_free(self, dev):
+        assert dev.sequential_read_time(0, "x") == 0.0
+
+    def test_bandwidth_of_zero_duration(self, dev):
+        assert dev.achieved_read_bandwidth(10, 0.0) == 0.0
+
+
+class TestAccounting:
+    def test_stats_accumulate_by_class(self, dev, cfg):
+        dev.read_batch([0, 1], "alpha")
+        dev.read_batch([0], "beta")
+        dev.write_batch([2], "alpha")
+        assert dev.stats.reads["alpha"].pages == 2
+        assert dev.stats.reads["beta"].pages == 1
+        assert dev.stats.writes["alpha"].pages == 1
+        assert dev.stats.pages_read == 3
+        assert dev.stats.pages_written == 1
+        assert dev.stats.bytes_read == 3 * cfg.ssd.page_size
+
+    def test_reset(self, dev):
+        dev.read_batch([0], "x")
+        dev.reset_stats()
+        assert dev.stats.pages_read == 0
+
+    def test_returned_time_matches_stats(self, dev):
+        t1 = dev.read_batch([0, 1, 2], "x")
+        assert dev.stats.read_time_us == pytest.approx(t1)
+
+
+class TestDeterminism:
+    def test_same_batches_same_times(self, cfg):
+        a = SimulatedSSD(cfg)
+        b = SimulatedSSD(cfg)
+        seq = [[0, 1], [1, 1, 2], [3], list(range(cfg.ssd.channels))]
+        ta = [a.read_batch(s, "x") for s in seq]
+        tb = [b.read_batch(s, "x") for s in seq]
+        assert ta == tb

@@ -1,0 +1,172 @@
+"""PageFile / ArrayFile behaviour and the pages_for_ranges geometry."""
+
+import numpy as np
+import pytest
+
+from repro.errors import StorageError
+from repro.ssd import SimFS, pages_for_ranges
+
+
+@pytest.fixture
+def dev(fs):
+    return fs.device
+
+
+class TestPageFile:
+    def test_append_and_read(self, fs):
+        f = fs.create_page_file("log", "mlog")
+        pid, t = f.append_page(("payload", 1))
+        assert pid == 0 and t > 0
+        payloads, t2 = f.read_pages(np.array([0]))
+        assert payloads == [("payload", 1)] and t2 > 0
+
+    def test_append_pages_batch(self, fs):
+        f = fs.create_page_file("log", "mlog")
+        ids, t = f.append_pages(["a", "b", "c"])
+        assert list(ids) == [0, 1, 2]
+        assert f.n_pages == 3
+
+    def test_append_empty_batch_free(self, fs):
+        f = fs.create_page_file("log", "mlog")
+        ids, t = f.append_pages([])
+        assert ids.size == 0 and t == 0.0
+
+    def test_read_all(self, fs):
+        f = fs.create_page_file("log", "mlog")
+        f.append_pages(list(range(5)))
+        payloads, _ = f.read_all()
+        assert payloads == [0, 1, 2, 3, 4]
+
+    def test_read_out_of_range(self, fs):
+        f = fs.create_page_file("log", "mlog")
+        f.append_page("x")
+        with pytest.raises(StorageError):
+            f.read_pages(np.array([1]))
+
+    def test_truncate(self, fs):
+        f = fs.create_page_file("log", "mlog")
+        f.append_pages(["a", "b"])
+        f.truncate()
+        assert f.n_pages == 0
+        payloads, t = f.read_all()
+        assert payloads == [] and t == 0.0
+
+    def test_uncharged_append(self, fs):
+        f = fs.create_page_file("log", "mlog")
+        before = fs.stats.pages_written
+        f.append_page("x", charge=False)
+        assert fs.stats.pages_written == before
+
+    def test_useful_bytes_tracking(self, fs, cfg):
+        f = fs.create_page_file("log", "mlog")
+        f.append_page("x", useful_bytes=100)
+        f.append_page("y")  # defaults to a full page
+        assert f.useful_bytes == 100 + cfg.ssd.page_size
+
+    def test_useful_bytes_length_mismatch(self, fs):
+        f = fs.create_page_file("log", "mlog")
+        with pytest.raises(StorageError):
+            f.append_pages(["a", "b"], useful_bytes=[1])
+
+    def test_channels_staggered_across_pages(self, fs, cfg):
+        f = fs.create_page_file("log", "mlog")
+        ids = np.arange(cfg.ssd.channels)
+        channels = f.channels_of(ids)
+        assert len(set(channels.tolist())) == cfg.ssd.channels
+
+
+class TestPagesForRanges:
+    def test_single_range_one_page(self):
+        pages, useful = pages_for_ranges(np.array([0]), np.array([4]), 8, 4)
+        assert list(pages) == [0]
+        assert list(useful) == [16]
+
+    def test_range_spanning_pages(self):
+        pages, useful = pages_for_ranges(np.array([6]), np.array([10]), 8, 4)
+        assert list(pages) == [0, 1]
+        assert list(useful) == [2 * 4, 2 * 4]
+
+    def test_empty_ranges_ignored(self):
+        pages, useful = pages_for_ranges(np.array([5, 3]), np.array([5, 3]), 8, 4)
+        assert pages.size == 0 and useful.size == 0
+
+    def test_overlapping_ranges_accumulate(self):
+        pages, useful = pages_for_ranges(np.array([0, 2]), np.array([4, 6]), 8, 4)
+        assert list(pages) == [0]
+        assert list(useful) == [8 * 4]
+
+    def test_disjoint_pages(self):
+        pages, useful = pages_for_ranges(np.array([0, 16]), np.array([1, 17]), 8, 4)
+        assert list(pages) == [0, 2]
+        assert list(useful) == [4, 4]
+
+    def test_full_coverage(self):
+        pages, useful = pages_for_ranges(np.array([0]), np.array([24]), 8, 4)
+        assert list(pages) == [0, 1, 2]
+        assert all(u == 32 for u in useful)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(StorageError):
+            pages_for_ranges(np.array([0, 1]), np.array([1]), 8, 4)
+
+    def test_many_ranges_vectorised(self):
+        starts = np.arange(0, 1000, 10)
+        stops = starts + 3
+        pages, useful = pages_for_ranges(starts, stops, 16, 4)
+        # Every page's useful bytes must be positive and bounded by page size.
+        assert (useful > 0).all()
+        assert (useful <= 16 * 4).all()
+        assert (np.diff(pages) > 0).all()  # sorted unique
+
+
+class TestArrayFile:
+    def test_geometry(self, fs, cfg):
+        arr = np.arange(100, dtype=np.int64)
+        f = fs.create_array_file("a", "csr_col", arr, entry_bytes=8)
+        assert f.n_entries == 100
+        assert f.entries_per_page == cfg.ssd.page_size // 8
+        assert f.n_pages == 1
+
+    def test_empty_array(self, fs):
+        f = fs.create_array_file("a", "x", np.empty(0), entry_bytes=8)
+        assert f.n_pages == 0
+        assert f.read_all() == 0.0
+
+    def test_entry_bytes_validation(self, fs, cfg):
+        with pytest.raises(StorageError):
+            fs.create_array_file("a", "x", np.empty(4), entry_bytes=0)
+        with pytest.raises(StorageError):
+            fs.create_array_file("b", "x", np.empty(4), entry_bytes=cfg.ssd.page_size * 2)
+
+    def test_read_ranges_charges_pages(self, fs):
+        arr = np.arange(10_000, dtype=np.int32)
+        f = fs.create_array_file("a", "csr_col", arr, entry_bytes=4)
+        t, pages, useful = f.read_ranges(np.array([0]), np.array([10]))
+        assert t > 0 and pages.shape[0] == 1
+        assert useful[0] == 40
+        assert fs.stats.reads["csr_col"].pages == 1
+
+    def test_write_ranges(self, fs):
+        arr = np.arange(10_000, dtype=np.int32)
+        f = fs.create_array_file("a", "csr_val", arr, entry_bytes=4)
+        t, pages = f.write_ranges(np.array([0]), np.array([2000]))
+        assert pages.shape[0] == 2
+        assert fs.stats.writes["csr_val"].pages == 2
+
+    def test_read_all_sequential(self, fs):
+        arr = np.zeros(5000, dtype=np.int64)
+        f = fs.create_array_file("a", "x", arr, entry_bytes=8)
+        t = f.read_all()
+        assert t > 0
+        assert fs.stats.reads["x"].pages == f.n_pages
+
+    def test_set_array(self, fs):
+        f = fs.create_array_file("a", "x", np.zeros(10), entry_bytes=8)
+        f.set_array(np.zeros(100))
+        assert f.n_entries == 100
+
+    def test_klass_override(self, fs):
+        arr = np.zeros(100, dtype=np.int64)
+        f = fs.create_array_file("a", "x", arr, entry_bytes=8)
+        f.read_ranges(np.array([0]), np.array([1]), klass="y")
+        assert "y" in fs.stats.reads and "x" not in fs.stats.reads

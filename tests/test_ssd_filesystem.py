@@ -1,0 +1,69 @@
+"""SimFS namespace and channel staggering."""
+
+import numpy as np
+import pytest
+
+from repro.errors import StorageError
+from repro.ssd import SimFS
+
+
+class TestNamespace:
+    def test_create_and_get(self, fs):
+        f = fs.create_page_file("a", "mlog")
+        assert fs.get("a") is f
+        assert "a" in fs
+        assert len(fs) == 1
+
+    def test_duplicate_name_rejected(self, fs):
+        fs.create_page_file("a", "mlog")
+        with pytest.raises(StorageError):
+            fs.create_page_file("a", "mlog")
+
+    def test_overwrite_allowed(self, fs):
+        f1 = fs.create_page_file("a", "mlog")
+        f2 = fs.create_page_file("a", "mlog", overwrite=True)
+        assert fs.get("a") is f2 and f1 is not f2
+
+    def test_missing_file(self, fs):
+        with pytest.raises(StorageError):
+            fs.get("nope")
+
+    def test_delete(self, fs):
+        fs.create_page_file("a", "mlog")
+        fs.delete("a")
+        assert "a" not in fs
+        with pytest.raises(StorageError):
+            fs.delete("a")
+
+    def test_names_sorted(self, fs):
+        fs.create_page_file("b", "x")
+        fs.create_page_file("a", "x")
+        assert fs.names() == ["a", "b"]
+
+    def test_needs_config_or_device(self):
+        with pytest.raises(StorageError):
+            SimFS()
+
+
+class TestChannelStaggering:
+    def test_files_start_on_different_channels(self, fs, cfg):
+        offsets = set()
+        for i in range(cfg.ssd.channels):
+            f = fs.create_page_file(f"f{i}", "x")
+            offsets.add(f.channel_offset)
+        assert len(offsets) == cfg.ssd.channels
+
+    def test_offsets_wrap(self, fs, cfg):
+        files = [fs.create_page_file(f"g{i}", "x") for i in range(cfg.ssd.channels + 1)]
+        assert files[0].channel_offset == files[-1].channel_offset
+
+    def test_array_file_channels(self, fs, cfg):
+        f = fs.create_array_file("arr", "x", np.zeros(10_000), entry_bytes=8)
+        ch = f.channels_of(np.arange(f.n_pages))
+        # Consecutive pages cycle over all channels.
+        assert set(ch.tolist()) == set(range(cfg.ssd.channels))
+
+    def test_shared_device_stats(self, fs):
+        f = fs.create_page_file("a", "x")
+        f.append_page("p")
+        assert fs.stats.pages_written == 1

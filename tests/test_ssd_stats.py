@@ -1,0 +1,88 @@
+"""SSDStats counters, snapshot/diff and merge."""
+
+import pytest
+
+from repro.ssd.stats import IOCounter, SSDStats
+
+
+class TestIOCounter:
+    def test_add(self):
+        c = IOCounter()
+        c.add(3, 300, 1.5)
+        c.add(1, 100, 0.5)
+        assert (c.batches, c.pages, c.bytes, c.time_us) == (2, 4, 400, 2.0)
+
+    def test_sub(self):
+        a = IOCounter(2, 4, 400, 2.0)
+        b = IOCounter(1, 1, 100, 0.5)
+        d = a - b
+        assert (d.batches, d.pages, d.bytes, d.time_us) == (1, 3, 300, 1.5)
+
+    def test_copy_is_independent(self):
+        a = IOCounter(1, 1, 1, 1.0)
+        b = a.copy()
+        b.add(1, 1, 1.0)
+        assert a.pages == 1 and b.pages == 2
+
+    def test_iadd(self):
+        a = IOCounter(1, 1, 1, 1.0)
+        a += IOCounter(1, 2, 3, 4.0)
+        assert (a.batches, a.pages, a.bytes, a.time_us) == (2, 3, 4, 5.0)
+
+
+class TestSSDStats:
+    def test_record_and_totals(self):
+        s = SSDStats()
+        s.record_read("a", 2, 200, 1.0)
+        s.record_write("b", 3, 300, 2.0)
+        assert s.pages_read == 2
+        assert s.pages_written == 3
+        assert s.total_pages == 5
+        assert s.total_time_us == pytest.approx(3.0)
+
+    def test_snapshot_diff(self):
+        s = SSDStats()
+        s.record_read("a", 2, 200, 1.0)
+        snap = s.snapshot()
+        s.record_read("a", 1, 100, 0.5)
+        s.record_write("c", 1, 100, 0.5)
+        d = s - snap
+        assert d.reads["a"].pages == 1
+        assert d.writes["c"].pages == 1
+
+    def test_snapshot_is_deep(self):
+        s = SSDStats()
+        s.record_read("a", 1, 100, 1.0)
+        snap = s.snapshot()
+        s.record_read("a", 1, 100, 1.0)
+        assert snap.reads["a"].pages == 1
+
+    def test_merge(self):
+        a = SSDStats()
+        a.record_read("x", 1, 100, 1.0)
+        b = SSDStats()
+        b.record_read("x", 2, 200, 2.0)
+        b.record_write("y", 1, 100, 1.0)
+        a.merge(b)
+        assert a.reads["x"].pages == 3
+        assert a.writes["y"].pages == 1
+
+    def test_pages_read_for(self):
+        s = SSDStats()
+        s.record_read("a", 2, 0, 0)
+        s.record_read("b", 3, 0, 0)
+        assert s.pages_read_for(["a", "missing"]) == 2
+        assert s.pages_read_for(["a", "b"]) == 5
+
+    def test_summary_rows_sorted(self):
+        s = SSDStats()
+        s.record_read("b", 1, 100, 1.0)
+        s.record_read("a", 1, 100, 1.0)
+        rows = s.summary_rows()
+        assert rows[0][0] == "a" and rows[0][1] == "read"
+
+    def test_empty_stats(self):
+        s = SSDStats()
+        assert s.total_pages == 0
+        assert s.total_time_us == 0.0
+        assert s.summary_rows() == []

@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Assemble EXPERIMENTS.md from the template + bench_output.txt tables.
+
+Each ``<<TABLE:prefix>>`` placeholder in EXPERIMENTS.md.tmpl is replaced
+with the table from bench_output.txt whose caption starts with that
+prefix (caption line through the trailing ``note:`` line or the blank
+line ending the table).
+
+Usage:  python tools/fill_experiments.py [bench_output.txt] [EXPERIMENTS.md]
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+
+def extract_tables(text: str) -> dict:
+    """Map caption-line -> full table text, for every rendered table."""
+    tables = {}
+    lines = text.splitlines()
+    i = 0
+    while i < len(lines):
+        # A table starts at a caption line followed by a header and a
+        # ``---+---`` separator two lines below.
+        if i + 2 < len(lines) and re.match(r"^-+(\+-+)+$", lines[i + 2] or ""):
+            start = i
+            j = i + 3
+            while j < len(lines) and lines[j].strip() and not lines[j].startswith("["):
+                j += 1
+            tables[lines[start].strip()] = "\n".join(lines[start:j]).rstrip()
+            i = j
+        else:
+            i += 1
+    return tables
+
+
+def main() -> int:
+    bench = Path(sys.argv[1] if len(sys.argv) > 1 else "bench_output.txt")
+    out = Path(sys.argv[2] if len(sys.argv) > 2 else "EXPERIMENTS.md")
+    tmpl = Path("EXPERIMENTS.md.tmpl").read_text()
+    tables = extract_tables(bench.read_text())
+
+    def lookup(prefix: str) -> str:
+        for caption, table in tables.items():
+            if caption.startswith(prefix):
+                return table
+        raise SystemExit(f"no table with caption starting {prefix!r} in {bench}")
+
+    filled = re.sub(
+        r"<<TABLE:([^>]+)>>", lambda m: lookup(m.group(1).strip()), tmpl
+    )
+    out.write_text(filled)
+    print(f"wrote {out} ({len(tables)} tables available)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
