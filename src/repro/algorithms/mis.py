@@ -29,6 +29,7 @@ class MISProgram(VertexProgram):
     """Two-supersteps-per-round Luby maximal independent set."""
 
     name = "mis"
+    supports_batch = True
 
     def __init__(self, seed: int = 0) -> None:
         self.seed = seed
@@ -70,6 +71,27 @@ class MISProgram(VertexProgram):
         ctx.value = IN_SET
         ctx.send_all(_IN_MARKER)
         ctx.deactivate()
+
+    def process_batch(self, b) -> bool:
+        """Vectorised group kernel; identical semantics to :meth:`process`."""
+        v = b.vids
+        undecided = b.values[v] == UNKNOWN
+        if b.superstep % 2 == 0:
+            # Phase A: absorb IN markers from last round, then bid.
+            knocked = undecided & b.update_any(b.udata == _IN_MARKER)
+            b.values[v[knocked]] = OUT
+            bidders = undecided & ~knocked
+            b.send_along_edges(bidders, self._pri[v])
+            b.keep_active(bidders)
+            return True
+        # Phase B: compare own priority with undecided neighbors' bids.
+        min_bid = b.update_min(where=b.udata >= 0, default=np.inf)
+        lost = undecided & (min_bid <= self._pri[v])
+        winners = undecided & ~lost
+        b.values[v[winners]] = IN_SET
+        b.send_along_edges(winners, np.full(b.k, _IN_MARKER))
+        b.keep_active(lost)
+        return True
 
     def on_superstep_end(self, superstep: int, values: np.ndarray, rng: np.random.Generator) -> None:
         if superstep % 2 == 1:

@@ -22,6 +22,7 @@ class SSSPProgram(VertexProgram):
     name = "sssp"
     combine = "min"
     needs_weights = True
+    supports_batch = True
 
     def __init__(self, source: int = 0) -> None:
         self.source = source
@@ -39,6 +40,17 @@ class SSSPProgram(VertexProgram):
                 if ctx.degree:
                     ctx.send_many(ctx.out_neighbors, d + ctx.out_weights)
         ctx.deactivate()
+
+    def process_batch(self, b) -> bool:
+        """Vectorised group kernel; identical semantics to :meth:`process`."""
+        d = b.combined_update(default=np.inf)
+        improved = d < b.values[b.vids]
+        b.values[b.vids[improved]] = d[improved]
+        relax = improved & (b.degrees > 0)
+        if relax.any():
+            edge_data = np.repeat(d[relax], b.degrees[relax]) + b.out_weights_of(relax)
+            b.send_edge_values(relax, edge_data)
+        return True
 
 
 def sssp_reference(graph: CSRGraph, source: int) -> np.ndarray:

@@ -39,13 +39,14 @@ class TriangleCountProgram(VertexProgram):
         if ctx.superstep == 0:
             nb = ctx.out_neighbors[ctx.out_neighbors > ctx.vid]
             if nb.shape[0] >= 2:
-                # For each pair u < w, send w to u (both > vid, sorted).
+                # For each pair u < w, send w to u (both > vid, sorted),
+                # as one bulk append covering all of v's wedges.
                 k = nb.shape[0]
-                for i in range(k - 1):
-                    u = int(nb[i])
-                    ctx.send_many(
-                        np.full(k - 1 - i, u), nb[i + 1 :].astype(np.float64)
-                    )
+                counts = np.arange(k - 1, 0, -1, dtype=np.int64)
+                cum = np.cumsum(counts)
+                i_idx = np.repeat(np.arange(k - 1, dtype=np.int64), counts)
+                j_idx = i_idx + 1 + (np.arange(int(cum[-1]), dtype=np.int64) - np.repeat(cum - counts, counts))
+                ctx.send_many(nb[i_idx], nb[j_idx].astype(np.float64))
         elif ctx.n_updates:
             candidates = ctx.updates_data.astype(np.int64)
             pos = np.searchsorted(ctx.out_neighbors, candidates)

@@ -220,6 +220,13 @@ class SimConfig:
     page_efficiency_threshold: float = 0.10
     #: Structural updates buffered per interval before merge (paper §V-E).
     mutation_merge_threshold: int = 1024
+    #: How many interval groups the superstep pipeline may prepare ahead
+    #: of the group being processed (§V-A3 / §VI overlap of log loading
+    #: with compute).  ``0`` disables the prefetch thread and reproduces
+    #: strictly serial group execution (the ablation baseline); any depth
+    #: produces bit-identical results and accounting because prefetched
+    #: I/O charges are deferred and replayed in serial order.
+    pipeline_depth: int = 1
 
     def __post_init__(self) -> None:
         self.validate()
@@ -235,6 +242,8 @@ class SimConfig:
             raise ConfigError("page_efficiency_threshold must be in (0, 1)")
         if self.mutation_merge_threshold < 1:
             raise ConfigError("mutation_merge_threshold must be >= 1")
+        if self.pipeline_depth < 0:
+            raise ConfigError("pipeline_depth must be >= 0")
         if self.memory.multilog_bytes < self.ssd.page_size:
             raise ConfigError(
                 "multi-log buffer smaller than one SSD page: raise total_bytes or multilog_fraction"
@@ -251,6 +260,10 @@ class SimConfig:
     def with_channels(self, channels: int) -> "SimConfig":
         """Return a copy with a different SSD channel count."""
         return dataclasses.replace(self, ssd=dataclasses.replace(self.ssd, channels=channels))
+
+    def with_pipeline_depth(self, depth: int) -> "SimConfig":
+        """Return a copy with a different group-prefetch depth."""
+        return dataclasses.replace(self, pipeline_depth=depth)
 
     # -- derived helpers ----------------------------------------------
 

@@ -12,6 +12,7 @@ from .engine import MultiLogVC
 from .loader import GraphLoaderUnit, LoadReport
 from .multilog import MultiLogUnit
 from .mutation import MutationBuffer
+from .pipeline import GroupPipeline, PreparedGroup
 from .results import ComputeMeter, RunResult, SuperstepRecord, speedup
 from .sortgroup import SortedGroup, SortGroupUnit
 from .update import UpdateBatch
@@ -27,6 +28,8 @@ __all__ = [
     "LoadReport",
     "MultiLogUnit",
     "MutationBuffer",
+    "GroupPipeline",
+    "PreparedGroup",
     "ComputeMeter",
     "RunResult",
     "SuperstepRecord",

@@ -240,7 +240,9 @@ class VertexProgram(ABC):
         Return True when the group was fully handled; returning False
         falls back to per-vertex :meth:`process` for that group.  Only
         called when ``supports_batch`` is set and the engine can provide
-        batch semantics (no edge state, no structural mutation).
+        batch semantics (structural mutation always falls back; edge
+        state is supported via a gather/scatter copy -- see
+        :mod:`repro.core.batch`).
         """
         return False
 

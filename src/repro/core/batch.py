@@ -17,8 +17,17 @@ The batch path is purely an execution-strategy choice:
   chunks rather than per message -- either can shift a few log pages,
   never results, activity traces or message multisets.
 
-Programs using per-edge state or structural mutation always take the
-scalar path.
+Edge-state programs (CDLP, coloring) batch too: the engine gathers each
+group's per-edge state into a mutable flat copy (``es_flat``), the
+kernel mutates it through :meth:`BatchContext.apply_updates_to_edge_state`
+and friends, and the engine scatters it back -- per-vertex edge ranges
+are disjoint, so this is equivalent to the scalar path's in-place
+writes.  Only structural mutation still forces the scalar path.
+
+The segmented-reduction helpers (:func:`segment_min`,
+:func:`segment_mode`, :func:`segment_sum`) operate on flat value arrays
+carved into per-vertex segments by an offsets array -- the shared
+substrate of the SSSP/CDLP/MIS kernels.
 """
 
 from __future__ import annotations
@@ -39,6 +48,92 @@ def flatten_ranges(starts: np.ndarray, stops: np.ndarray) -> np.ndarray:
     cum = np.cumsum(counts)
     offsets = np.arange(total, dtype=np.int64) - np.repeat(cum - counts, counts)
     return np.repeat(starts, counts) + offsets
+
+
+# -- segmented reductions ---------------------------------------------------
+#
+# ``offsets`` is int64[k + 1]; segment i is values[offsets[i]:offsets[i+1]].
+# Segments must tile ``values`` (offsets[0] == 0, offsets[-1] == len).
+
+
+def segment_min(
+    values: np.ndarray,
+    offsets: np.ndarray,
+    where: Optional[np.ndarray] = None,
+    default: float = np.inf,
+) -> np.ndarray:
+    """Per-segment minimum; ``where`` filters elements, empty -> default."""
+    k = offsets.shape[0] - 1
+    if where is not None:
+        keep = np.asarray(where, dtype=bool)
+        values = values[keep]
+        cum = np.concatenate([[0], np.cumsum(keep)])
+        lo = cum[offsets[:-1]]
+        hi = cum[offsets[1:]]
+    else:
+        lo = offsets[:-1]
+        hi = offsets[1:]
+    out = np.full(k, default, dtype=np.float64)
+    nonempty = hi > lo
+    if values.shape[0] and nonempty.any():
+        # reduceat over the nonempty segments' start positions reduces
+        # exactly [lo, hi) for each because the segments tile `values`.
+        out[nonempty] = np.minimum.reduceat(values, lo[nonempty])
+    return out
+
+
+def segment_sum(
+    values: np.ndarray,
+    offsets: np.ndarray,
+    where: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Per-segment sum (of a mask, this counts matches); empty -> 0."""
+    vals = np.asarray(values, dtype=np.float64)
+    if where is not None:
+        vals = np.where(np.asarray(where, dtype=bool), vals, 0.0)
+    cum = np.concatenate([[0.0], np.cumsum(vals)])
+    return cum[offsets[1:]] - cum[offsets[:-1]]
+
+
+def segment_mode(
+    values: np.ndarray,
+    offsets: np.ndarray,
+    default: float = 0.0,
+) -> np.ndarray:
+    """Per-segment most frequent value, ties toward the smallest.
+
+    Matches ``frequent_label``: within each segment, the value with the
+    highest count wins; equal counts resolve to the smallest value.
+    Empty segments yield ``default``.
+    """
+    k = offsets.shape[0] - 1
+    counts = np.diff(offsets).astype(np.int64)
+    n = int(counts.sum())
+    out = np.full(k, default, dtype=np.float64)
+    if n == 0:
+        return out
+    seg = np.repeat(np.arange(k, dtype=np.int64), counts)
+    order = np.lexsort((values, seg))
+    sv = np.asarray(values)[order]
+    ss = seg[order]
+    # Run-length encode (segment, value) runs.
+    new_run = np.ones(n, dtype=bool)
+    new_run[1:] = (sv[1:] != sv[:-1]) | (ss[1:] != ss[:-1])
+    run_starts = np.flatnonzero(new_run)
+    run_seg = ss[run_starts]
+    run_val = sv[run_starts]
+    run_len = np.diff(np.append(run_starts, n))
+    # Highest count per segment, then the first (smallest-value) run
+    # achieving it -- runs are ordered by value within each segment.
+    best_len = np.zeros(k, dtype=np.int64)
+    np.maximum.at(best_len, run_seg, run_len)
+    is_best = run_len == best_len[run_seg]
+    first_best = np.full(k, run_len.shape[0], dtype=np.int64)
+    idxs = np.flatnonzero(is_best)
+    np.minimum.at(first_best, run_seg[idxs], idxs)
+    got = first_best < run_len.shape[0]
+    out[got] = run_val[first_best[got]]
+    return out
 
 
 class BatchContext:
@@ -65,6 +160,10 @@ class BatchContext:
         Concatenated out-neighbor ids, aligned with ``vids`` order.
     w_flat:
         Concatenated static edge weights, or ``None``.
+    es_flat:
+        Mutable copy of the concatenated per-edge state, or ``None``.
+        Mutations are scattered back by the engine after the kernel;
+        call :meth:`mark_edge_state_dirty` so the write-back is charged.
     """
 
     def __init__(
@@ -82,6 +181,7 @@ class BatchContext:
         w_flat: Optional[np.ndarray],
         send_batch: Callable[[np.ndarray, np.ndarray, np.ndarray], None],
         rng: np.random.Generator,
+        es_flat: Optional[np.ndarray] = None,
     ) -> None:
         self.vids = vids
         self.superstep = superstep
@@ -94,9 +194,11 @@ class BatchContext:
         self.nb_offsets = nb_offsets
         self.nb_flat = nb_flat
         self.w_flat = w_flat
+        self.es_flat = es_flat
         self._send_batch = send_batch
         self.rng = rng
         self._stay_mask = np.zeros(vids.shape[0], dtype=bool)
+        self._es_dirty = np.zeros(vids.shape[0], dtype=bool)
 
     # -- geometry ---------------------------------------------------------
 
@@ -111,6 +213,19 @@ class BatchContext:
     @property
     def update_counts(self) -> np.ndarray:
         return self.u_hi - self.u_lo
+
+    def update_any(self, flags: np.ndarray) -> np.ndarray:
+        """Per-vertex "any update satisfies ``flags``" (aligned with udata)."""
+        cum = np.concatenate([[0], np.cumsum(np.asarray(flags, dtype=np.int64))])
+        return (cum[self.u_hi] - cum[self.u_lo]) > 0
+
+    def update_min(self, where: Optional[np.ndarray] = None, default: float = np.inf) -> np.ndarray:
+        """Per-vertex minimum over (optionally filtered) update payloads."""
+        idx = flatten_ranges(self.u_lo, self.u_hi)
+        vals = self.udata[idx]
+        w = None if where is None else np.asarray(where, dtype=bool)[idx]
+        offsets = np.concatenate([[0], np.cumsum(self.update_counts)]).astype(np.int64)
+        return segment_min(vals, offsets, where=w, default=default)
 
     def combined_update(self, default: float = 0.0) -> np.ndarray:
         """Per-vertex single update value (for ``combine`` programs).
@@ -128,7 +243,61 @@ class BatchContext:
         out[has] = self.udata[self.u_lo[has]]
         return out
 
+    # -- edge state --------------------------------------------------------
+
+    def mark_edge_state_dirty(self, vertex_mask: np.ndarray) -> None:
+        """Flag vertices whose edge state changed (charges write-back)."""
+        self._es_dirty |= np.asarray(vertex_mask, dtype=bool)
+
+    def apply_updates_to_edge_state(self) -> np.ndarray:
+        """Scatter each update's payload into the receiver's edge state.
+
+        For every update ``(dest=v, src=u, data)``, writes ``data`` at
+        ``u``'s position within ``v``'s sorted adjacency -- the
+        vectorised form of the scalar
+        ``edge_state[searchsorted(out_neighbors, updates_src)] = data``.
+        Marks receivers with updates and edges dirty; returns that mask.
+        """
+        if self.es_flat is None:
+            raise ProgramError("engine did not provision edge state for this batch")
+        counts = self.update_counts
+        dirty = (counts > 0) & (self.degrees > 0)
+        sel = np.flatnonzero(dirty)
+        idx = flatten_ranges(self.u_lo[sel], self.u_hi[sel])
+        if idx.shape[0]:
+            # Stride keys make one global searchsorted equivalent to a
+            # per-vertex searchsorted into its own adjacency segment.
+            stride = int(self.values.shape[0])
+            seg_edges = np.repeat(np.arange(self.k, dtype=np.int64), self.degrees)
+            keys_edges = seg_edges * stride + self.nb_flat
+            seg_upd = np.repeat(sel, counts[sel])
+            keys_upd = seg_upd * stride + self.usrc[idx].astype(np.int64)
+            pos = np.searchsorted(keys_edges, keys_upd)
+            self.es_flat[pos] = self.udata[idx]
+        self.mark_edge_state_dirty(dirty)
+        return dirty
+
+    def edge_state_of(self, i: int) -> np.ndarray:
+        """Vertex ``vids[i]``'s edge-state segment (a view into es_flat)."""
+        if self.es_flat is None:
+            raise ProgramError("engine did not provision edge state for this batch")
+        return self.es_flat[self.nb_offsets[i] : self.nb_offsets[i + 1]]
+
+    def edge_state_mode(self, default: float = 0.0) -> np.ndarray:
+        """Per-vertex most frequent edge-state value (CDLP's vote)."""
+        if self.es_flat is None:
+            raise ProgramError("engine did not provision edge state for this batch")
+        return segment_mode(self.es_flat, self.nb_offsets, default=default)
+
     # -- messaging -----------------------------------------------------------
+
+    def out_weights_of(self, vertex_mask: np.ndarray) -> np.ndarray:
+        """Selected vertices' static edge weights, concatenated."""
+        if self.w_flat is None:
+            raise ProgramError("program must declare needs_weights")
+        sel = np.flatnonzero(np.asarray(vertex_mask, dtype=bool))
+        idx = flatten_ranges(self.nb_offsets[sel], self.nb_offsets[sel + 1])
+        return self.w_flat[idx]
 
     def send_along_edges(self, vertex_mask: np.ndarray, per_vertex_data: np.ndarray) -> None:
         """Broadcast ``per_vertex_data[i]`` over vertex i's out-edges.

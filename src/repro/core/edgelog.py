@@ -24,6 +24,7 @@ the trailing partial page is flushed at superstep end.
 
 from __future__ import annotations
 
+import threading
 from typing import Tuple
 
 import numpy as np
@@ -54,6 +55,10 @@ class EdgeLogOptimizer:
         self.budget = budget
         self.name = name
         self.io_time_us = 0.0
+        # The read path may run on the prefetch thread while the write
+        # path logs on the accounting thread; guard the shared
+        # (diagnostic) time accumulator against torn updates.
+        self._io_lock = threading.Lock()
         self._gen = 0
         # Current generation: what this superstep's loader may read.
         self._cur_first = np.full(n_vertices, -1, dtype=np.int64)
@@ -83,7 +88,8 @@ class EdgeLogOptimizer:
         self._next_last[v] = last
         if len(completed):
             _, t = self._file_next.append_pages([None] * len(completed))
-            self.io_time_us += t
+            with self._io_lock:
+                self.io_time_us += t
         self.vertices_logged += 1
         return True
 
@@ -116,7 +122,8 @@ class EdgeLogOptimizer:
         if pages.size == 0 or self._file_cur is None:
             return 0.0, 0
         _, t = self._file_cur.read_pages(pages)
-        self.io_time_us += t
+        with self._io_lock:
+            self.io_time_us += t
         return t, int(pages.size)
 
     # -- superstep boundary -------------------------------------------------------

@@ -39,12 +39,17 @@ from .edgelog import EdgeLogOptimizer
 from .loader import GraphLoaderUnit
 from .multilog import MultiLogUnit
 from .mutation import MutationBuffer
+from .pipeline import GroupPipeline, PreparedGroup
 from .results import ComputeMeter, RunResult, SuperstepRecord
 from .sortgroup import SortGroupUnit
 from .update import DATA_DTYPE, SRC_DTYPE, UpdateBatch
 
 _EMPTY_SRC = np.empty(0, dtype=SRC_DTYPE)
 _EMPTY_DATA = np.empty(0, dtype=DATA_DTYPE)
+
+
+class _Converged(Exception):
+    """Internal control flow: the superstep loop reached a fixed point."""
 
 
 class MultiLogVC:
@@ -162,12 +167,49 @@ class MultiLogVC:
                 else:
                     mutations.remove_edge(src, dst)
 
+        # Group prefetch (§V-A3 overlap): asynchronous same-superstep
+        # update injection and structural mutation both depend on the
+        # processing of earlier groups, so they force serial preparation.
+        depth = cfg.pipeline_depth
+        if self.mode != "sync" or mutations is not None:
+            depth = 0
+        pipeline = GroupPipeline(self.fs.device, depth)
+
         records: List[SuperstepRecord] = []
         converged = False
+        try:
+            self._superstep_loop(
+                max_supersteps, records, pipeline, meter, tracker,
+                mlog_cur, mlog_next, sortgroup, loader, edgelog, mutations,
+                mutate_cb, values, prog, cfg, rng,
+            )
+        except _Converged:
+            converged = True
+        finally:
+            pipeline.close()
+
+        if mutations is not None:
+            mutations.merge_all()
+        stats = self.fs.stats.snapshot() - stats_start
+        return RunResult(
+            engine=self.name,
+            program=prog.name,
+            values=values,
+            supersteps=records,
+            converged=converged,
+            stats=stats,
+            compute_time_us=meter.time_us,
+        )
+
+    def _superstep_loop(
+        self, max_supersteps, records, pipeline, meter, tracker,
+        mlog_cur, mlog_next, sortgroup, loader, edgelog, mutations,
+        mutate_cb, values, prog, cfg, rng,
+    ) -> None:
+        """Run supersteps until convergence (raises :class:`_Converged`)."""
         for step in range(max_supersteps):
             if tracker.n_current == 0 and mlog_cur.total_messages == 0:
-                converged = True
-                break
+                raise _Converged
             stats_before = self.fs.stats.snapshot()
             compute_before = meter.time_us
             sent_before = mlog_next.appended
@@ -182,6 +224,22 @@ class MultiLogVC:
                 max_group_intervals=None if self.enable_fusing else 1,
             )
 
+            def prepare(group, mlog=mlog_cur, mnext=mlog_next, ids=active_ids):
+                extra: Optional[UpdateBatch] = None
+                if self.mode == "async":
+                    extra = mnext.consume(group)
+                sg = sortgroup.load_group(
+                    mlog, group, combine=prog.combine, extra=extra, charge_sort=False
+                )
+                self_act = ids[(ids >= sg.vertex_lo) & (ids < sg.vertex_hi)]
+                verts = np.union1d(sg.unique_dests.astype(np.int64), self_act)
+                report = None
+                if verts.size:
+                    report = loader.load_active(
+                        verts, prog.needs_weights, prog.uses_edge_state, edgelog
+                    )
+                return PreparedGroup(list(group), sg, verts, report)
+
             processed = 0
             updates_processed = 0
             edges_scanned = 0
@@ -189,18 +247,16 @@ class MultiLogVC:
             accessed_pages = 0
             hypo_ineff = 0
             avoided_ineff = 0
-            for group in groups:
-                extra: Optional[UpdateBatch] = None
-                if self.mode == "async":
-                    extra = mlog_next.consume(group)
-                sg = sortgroup.load_group(mlog_cur, group, combine=prog.combine, extra=extra)
-                self_act = active_ids[(active_ids >= sg.vertex_lo) & (active_ids < sg.vertex_hi)]
-                verts = np.union1d(sg.unique_dests.astype(np.int64), self_act)
+            for prepared, charges in pipeline.run(groups, prepare):
+                # Replay prefetched I/O charges and the deferred sort
+                # charge here, where serial execution would record them.
+                self.fs.device.commit(charges)
+                meter.charge_sort(prepared.sg.sort_items)
+                sg = prepared.sg
+                verts = prepared.verts
+                report = prepared.report
                 if verts.size == 0:
                     continue
-                report = loader.load_active(
-                    verts, prog.needs_weights, prog.uses_edge_state, edgelog
-                )
                 for useful in report.colidx_useful:
                     frac = useful / cfg.ssd.page_size
                     ineff_pages += int(((useful > 0) & (frac < cfg.page_efficiency_threshold)).sum())
@@ -210,12 +266,10 @@ class MultiLogVC:
 
                 # Vectorised fast path: the program handles the whole
                 # group in bulk (see repro.core.batch).
-                if (
-                    prog.supports_batch
-                    and mutations is None
-                    and not prog.uses_edge_state
-                ):
-                    bctx = self._build_batch(sg, verts, prog, mlog_next, rng, step, values)
+                if prog.supports_batch and mutations is None:
+                    bctx, es_plan = self._build_batch(
+                        sg, verts, prog, mlog_next, rng, step, values
+                    )
                     if prog.process_batch(bctx):
                         stay = verts[bctx._stay_mask]
                         if stay.size:
@@ -235,6 +289,17 @@ class MultiLogVC:
                                 edgelog.consider(
                                     int(verts[idx]), int(degs[idx]), True, True
                                 )
+                        if es_plan is not None:
+                            # Scatter the (possibly mutated) edge-state
+                            # copy back and charge dirty val-page writes,
+                            # mirroring the scalar path's in-place writes.
+                            off = 0
+                            for files, idx in es_plan:
+                                files.values.array[idx] = bctx.es_flat[off : off + idx.shape[0]]
+                                off += idx.shape[0]
+                            dirty_verts = verts[bctx._es_dirty]
+                            if dirty_verts.size:
+                                loader.writeback_edge_state(dirty_verts)
                         continue
 
                 upos = np.searchsorted(sg.unique_dests, verts)
@@ -316,21 +381,7 @@ class MultiLogVC:
             mlog_cur.tracker = None
             mlog_next.tracker = tracker
             if prog.is_converged(values):
-                converged = True
-                break
-
-        if mutations is not None:
-            mutations.merge_all()
-        stats = self.fs.stats.snapshot() - stats_start
-        return RunResult(
-            engine=self.name,
-            program=prog.name,
-            values=values,
-            supersteps=records,
-            converged=converged,
-            stats=stats,
-            compute_time_us=meter.time_us,
-        )
+                raise _Converged
 
     # ------------------------------------------------------------------
 
@@ -339,16 +390,22 @@ class MultiLogVC:
 
         Adjacency for the whole group is gathered with one vectorised
         fancy-index per interval; update slices come straight from the
-        group's dest-sorted batch via binary search.
+        group's dest-sorted batch via binary search.  For edge-state
+        programs the value vectors are gathered as a mutable copy and a
+        scatter plan ``[(files, idx), ...]`` is returned so the engine
+        can write mutations back (per-vertex ranges are disjoint, so
+        gather/mutate/scatter is equivalent to scalar in-place writes).
         """
         from .batch import BatchContext, flatten_ranges
 
         u_lo = np.searchsorted(sg.batch.dest, verts, side="left")
         u_hi = np.searchsorted(sg.batch.dest, verts, side="right")
         need_w = prog.needs_weights
+        need_es = prog.uses_edge_state
         bounds = self.intervals.boundaries
         cut = np.searchsorted(verts, bounds)
         nb_parts, w_parts, deg_parts = [], [], []
+        es_plan = [] if need_es else None
         for i in range(self.intervals.n_intervals):
             s, e = cut[i], cut[i + 1]
             if s == e:
@@ -358,17 +415,21 @@ class MultiLogVC:
             deg_parts.append((stops - starts).astype(np.int64))
             idx = flatten_ranges(starts, stops)
             nb_parts.append(files.colidx.array[idx].astype(np.int64))
-            if need_w and files.values is not None:
+            if (need_w or need_es) and files.values is not None:
                 w_parts.append(files.values.array[idx])
+                if need_es:
+                    es_plan.append((files, idx))
         degrees = np.concatenate(deg_parts) if deg_parts else np.empty(0, np.int64)
         nb_flat = np.concatenate(nb_parts) if nb_parts else np.empty(0, np.int64)
-        w_flat = np.concatenate(w_parts) if (need_w and w_parts) else None
+        vals_flat = np.concatenate(w_parts) if w_parts else np.empty(0, np.float64)
+        w_flat = vals_flat if need_w else None
+        es_flat = vals_flat if need_es else None
         nb_offsets = np.concatenate([[0], np.cumsum(degrees)]).astype(np.int64)
 
         def send_batch(dests, srcs, datas):
             mlog_next.ingest(UpdateBatch.of(dests, srcs, datas))
 
-        return BatchContext(
+        bctx = BatchContext(
             vids=verts,
             superstep=step,
             values=values,
@@ -382,5 +443,7 @@ class MultiLogVC:
             w_flat=w_flat,
             send_batch=send_batch,
             rng=rng,
+            es_flat=es_flat,
         )
+        return bctx, es_plan
 

@@ -72,6 +72,7 @@ class MultiLogUnit:
         self._v2i = np.empty(intervals.n_vertices, dtype=np.int32)
         for i, lo, hi in intervals:
             self._v2i[lo:hi] = i
+        self._n_vertices = intervals.n_vertices
         self._capacity = budget.multilog_pages
         mem = config.memory
         self._low_free = int(np.floor(mem.evict_low_free_fraction * self._capacity))
@@ -102,6 +103,10 @@ class MultiLogUnit:
         """First-order log-size estimate from the message counter (§V-B)."""
         return int(self.counters[i]) * self.config.records.update_bytes
 
+    def estimated_bytes_all(self) -> np.ndarray:
+        """Per-interval log-size estimates as one vector (planning path)."""
+        return self.counters * self.config.records.update_bytes
+
     def pages_on_flash(self, i: int) -> int:
         f = self._files[i]
         return f.n_pages if f is not None else 0
@@ -110,8 +115,8 @@ class MultiLogUnit:
 
     def send(self, dest: int, src: int, data: float) -> None:
         """Append one update to the destination interval's log."""
-        if not 0 <= dest < self._v2i.shape[0]:
-            raise ProgramError(f"send target {dest} outside graph [0, {self._v2i.shape[0]})")
+        if not 0 <= dest < self._n_vertices:
+            raise ProgramError(f"send target {dest} outside graph [0, {self._n_vertices})")
         i = int(self._v2i[dest])
         buf = self._buffers[i]
         if buf.top_records == 0:
@@ -129,13 +134,13 @@ class MultiLogUnit:
         dests = np.asarray(dests, dtype=np.int64)
         if dests.size == 0:
             return
-        if dests.min() < 0 or dests.max() >= self._v2i.shape[0]:
+        if dests.min() < 0 or dests.max() >= self._n_vertices:
             raise ProgramError("send target outside graph")
         datas = np.asarray(datas, dtype=np.float64)
         if datas.shape != dests.shape:
             raise ProgramError("send_many dests/datas length mismatch")
         srcs = np.full(dests.shape[0], src, dtype=np.int64)
-        self._append_bulk(dests, srcs, np.asarray(datas, dtype=np.float64))
+        self._append_bulk(dests, srcs, datas)
         if self.tracker is not None:
             self.tracker.note_messages(dests)
 
@@ -160,9 +165,16 @@ class MultiLogUnit:
         rpp = self.config.updates_per_page
         chunk = max(rpp, self._high_free * rpp)
         ivals = self._v2i[dests]
-        for i in np.unique(ivals):
-            mask = ivals == i
-            d, s, x = dests[mask], srcs[mask], datas[mask]
+        # One stable argsort buckets the batch by interval while keeping
+        # each interval's records in arrival order (same per-interval
+        # subsequences as record-at-a-time sends).
+        order = np.argsort(ivals, kind="stable")
+        ivals_sorted = ivals[order]
+        d_all, s_all, x_all = dests[order], srcs[order], datas[order]
+        uniq, bucket_starts = np.unique(ivals_sorted, return_index=True)
+        bucket_stops = np.append(bucket_starts[1:], ivals_sorted.shape[0])
+        for i, b0, b1 in zip(uniq, bucket_starts, bucket_stops):
+            d, s, x = d_all[b0:b1], s_all[b0:b1], x_all[b0:b1]
             buf = self._buffers[i]
             for pos in range(0, d.shape[0], chunk):
                 before = buf.pages_used

@@ -1,0 +1,150 @@
+"""Pipelined interval-group prefetch (paper §V-A3 / §VI overlap).
+
+The paper overlaps log loading and eviction with compute so all SSD
+channels stay busy.  The engine's analog: while group ``g`` is being
+processed on the main thread, a single background worker *prepares*
+group ``g + 1`` -- ``MultiLogUnit.consume``, the in-memory dest-sort,
+and ``GraphLoaderUnit.load_active`` -- up to ``pipeline_depth`` groups
+ahead.  NumPy's sort/searchsorted/fancy-index kernels release the GIL,
+so preparation genuinely overlaps batch-kernel compute.
+
+Determinism contract
+--------------------
+Prepared results must be *bit-identical* to serial execution, including
+every accounting stream:
+
+* **SSD stats**: the worker runs inside
+  :meth:`~repro.ssd.device.SimulatedSSD.deferred`, so its I/O charges are
+  queued, not recorded.  The consumer replays each group's queue with
+  :meth:`~repro.ssd.device.SimulatedSSD.commit` at the exact point the
+  same charges would land under serial execution, preserving the global
+  record order (and therefore every per-superstep snapshot delta and
+  float accumulation).
+* **Compute meter**: preparation skips the sort charge
+  (``charge_sort=False``); the consumer charges
+  ``SortedGroup.sort_items`` itself, again in serial order.
+* **Data**: in synchronous mode the current-generation multi-log
+  receives no new messages during the superstep and the loader reads
+  only the *current* edge-log generation, so preparing group ``g + 1``
+  early reads exactly what serial execution would read.  Asynchronous
+  mode (same-superstep update injection) and structural mutation break
+  that independence, so the engine forces depth 0 for them.
+
+Depth 0 runs the same code path inline (prepare, commit, process per
+group) and is the ablation baseline; any depth yields identical results.
+
+The worker is a single thread: groups are prepared strictly in order,
+which keeps intra-unit accumulators (``MultiLogUnit.io_time_us``) in
+serial order too.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, Iterable, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from ..ssd.device import ChargeOp, SimulatedSSD
+from .loader import LoadReport
+from .sortgroup import SortedGroup
+
+
+@dataclass
+class PreparedGroup:
+    """Everything the superstep loop needs to process one group."""
+
+    interval_ids: List[int]
+    sg: SortedGroup
+    #: sorted union of message destinations and self-active vertices
+    verts: np.ndarray
+    #: ``None`` when ``verts`` is empty (nothing was loaded)
+    report: Optional[LoadReport] = None
+
+
+PrepareFn = Callable[[List[int]], PreparedGroup]
+
+
+class GroupPipeline:
+    """Depth-bounded, order-preserving group prefetcher.
+
+    One instance serves a whole engine run; :meth:`run` is called once
+    per superstep with that superstep's group plan and prepare closure.
+    """
+
+    def __init__(self, device: SimulatedSSD, depth: int) -> None:
+        if depth < 0:
+            raise ValueError(f"pipeline depth must be >= 0, got {depth}")
+        self.device = device
+        self.depth = depth
+        self._executor: Optional[ThreadPoolExecutor] = None
+
+    # -- lifecycle ------------------------------------------------------
+
+    def _ensure_executor(self) -> ThreadPoolExecutor:
+        if self._executor is None:
+            self._executor = ThreadPoolExecutor(
+                max_workers=1, thread_name_prefix="group-prefetch"
+            )
+        return self._executor
+
+    def close(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    def __enter__(self) -> "GroupPipeline":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- iteration ------------------------------------------------------
+
+    def run(
+        self,
+        groups: Iterable[List[int]],
+        prepare: PrepareFn,
+        depth: Optional[int] = None,
+    ) -> Iterator[Tuple[PreparedGroup, List[ChargeOp]]]:
+        """Yield ``(prepared, deferred_charges)`` for each group, in order.
+
+        ``depth`` overrides the instance depth for this superstep (the
+        engine passes 0 for modes that must stay serial).  The caller
+        must :meth:`~repro.ssd.device.SimulatedSSD.commit` each charge
+        queue before processing the group.
+        """
+        d = self.depth if depth is None else depth
+
+        def job(group: List[int]) -> Tuple[PreparedGroup, List[ChargeOp]]:
+            with self.device.deferred() as charges:
+                prepared = prepare(group)
+            return prepared, charges
+
+        if d <= 0:
+            for group in groups:
+                yield job(group)
+            return
+
+        executor = self._ensure_executor()
+        pending: "deque[Future]" = deque()
+        it = iter(groups)
+
+        def submit_next() -> None:
+            try:
+                group = next(it)
+            except StopIteration:
+                return
+            pending.append(executor.submit(job, group))
+
+        for _ in range(d):
+            submit_next()
+        while pending:
+            fut = pending.popleft()
+            result = fut.result()
+            # Keep the pipe full: request the next group before handing
+            # this one to the consumer, so preparation overlaps compute.
+            submit_next()
+            yield result

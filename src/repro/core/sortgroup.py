@@ -37,6 +37,9 @@ class SortedGroup:
     #: True when a single interval's log alone exceeded the sort budget
     #: (possible only when the §V-A1 conservative sizing was overridden).
     overflowed: bool = False
+    #: Pre-combine batch size, for deferred sort-cost metering when the
+    #: group was prepared off the accounting thread (``charge_sort=False``).
+    sort_items: int = 0
 
     def updates_for(self, k: int) -> Tuple[np.ndarray, np.ndarray]:
         """Updates of ``unique_dests[k]`` as ``(src, data)`` arrays."""
@@ -79,11 +82,10 @@ class SortGroupUnit:
         nothing to do are skipped entirely (the CSR/active-list benefit).
         """
         k = multilog.n_intervals
-        sizes = [multilog.estimated_bytes(i) for i in range(k)]
-        needed = [
-            sizes[i] > 0 or (must_include is not None and bool(must_include[i]))
-            for i in range(k)
-        ]
+        sizes = multilog.estimated_bytes_all()
+        needed = sizes > 0
+        if must_include is not None:
+            needed = needed | np.asarray(must_include, dtype=bool)
         groups: List[List[int]] = []
         cur: List[int] = []
         cur_bytes = 0
@@ -103,7 +105,7 @@ class SortGroupUnit:
                 groups.append(cur)
                 cur, cur_bytes = [], 0
             cur.append(i)
-            cur_bytes += sizes[i]
+            cur_bytes += int(sizes[i])
         if cur:
             groups.append(cur)
         return groups
@@ -116,17 +118,23 @@ class SortGroupUnit:
         interval_ids: List[int],
         combine: Optional[CombineSpec] = None,
         extra: Optional[UpdateBatch] = None,
+        charge_sort: bool = True,
     ) -> SortedGroup:
         """Consume an interval group's logs and sort/group them in memory.
 
         ``extra`` lets the asynchronous mode inject same-superstep
-        updates produced by earlier groups.
+        updates produced by earlier groups.  ``charge_sort=False`` skips
+        the compute-meter charge; the caller charges
+        ``SortedGroup.sort_items`` itself (the prefetch pipeline does
+        this on the accounting thread to keep meter order serial).
         """
         batch = multilog.consume(interval_ids)
         if extra is not None and extra.n:
             batch = UpdateBatch.concat([batch, extra])
         overflowed = batch.n * self.config.records.update_bytes > self.budget.sort_bytes
-        self.meter.charge_sort(batch.n)
+        sort_items = int(batch.n)
+        if charge_sort:
+            self.meter.charge_sort(sort_items)
         batch = batch.sort_by_dest()
         uniq, offsets = batch.group()
         if combine is not None and uniq.shape[0]:
@@ -141,4 +149,5 @@ class SortGroupUnit:
             unique_dests=uniq,
             offsets=offsets,
             overflowed=overflowed,
+            sort_items=sort_items,
         )

@@ -76,15 +76,28 @@ class RecordPageBuffer:
         sealed = 0
         rpp = self.records_per_page
         pos = 0
-        while pos < n:
-            space = rpp - len(self._top[0])
-            take = min(space, n - pos)
+        # Top-up a partially filled top page first.
+        if self._top[0]:
+            take = min(rpp - len(self._top[0]), n)
             for col, src in zip(self._top, columns):
-                col.extend(src[pos : pos + take].tolist())
-            pos += take
+                col.extend(src[:take].tolist())
+            pos = take
             if len(self._top[0]) >= rpp:
                 self._seal_top()
                 sealed += 1
+        # Whole pages seal as direct page-sized array copies, skipping
+        # the per-record list round-trip.
+        while n - pos >= rpp:
+            page = tuple(
+                np.array(src[pos : pos + rpp], dtype=dt)
+                for src, dt in zip(columns, self.dtypes)
+            )
+            self._sealed.append(page)
+            sealed += 1
+            pos += rpp
+        if pos < n:
+            for col, src in zip(self._top, columns):
+                col.extend(src[pos:].tolist())
         return sealed
 
     # -- geometry -----------------------------------------------------------

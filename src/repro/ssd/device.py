@@ -25,7 +25,9 @@ payloads live in :mod:`repro.ssd.file`.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Union
+import threading
+from contextlib import contextmanager
+from typing import List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -34,6 +36,9 @@ from ..errors import StorageError
 from .stats import SSDStats
 
 ChannelVector = Union[np.ndarray, Sequence[int]]
+
+#: One deferred charge: (is_read, klass, pages, bytes, simulated_us).
+ChargeOp = Tuple[bool, str, int, int, float]
 
 
 class SimulatedSSD:
@@ -58,6 +63,7 @@ class SimulatedSSD:
         self.stats = SSDStats()
         self._channels = config.ssd.channels
         self._page_size = config.ssd.page_size
+        self._tls = threading.local()
 
     # -- geometry -------------------------------------------------------
 
@@ -88,6 +94,47 @@ class SimulatedSSD:
             )
         return arr
 
+    # -- deferred charging (group-prefetch pipeline) ----------------------
+
+    @contextmanager
+    def deferred(self):
+        """Queue this thread's charges instead of recording them.
+
+        Timing is still computed and returned to callers (it is a pure
+        function of the channel vector), but :class:`SSDStats` is not
+        touched.  The caller replays the queue with :meth:`commit` on
+        the accounting thread, at the point where the same charges would
+        have landed under serial execution -- which is what keeps the
+        prefetch pipeline's per-superstep stats bit-identical to serial
+        mode.  The defer flag is thread-local, so other threads charging
+        concurrently are unaffected.
+        """
+        if getattr(self._tls, "queue", None) is not None:
+            raise StorageError("nested deferred() charging is not supported")
+        queue: List[ChargeOp] = []
+        self._tls.queue = queue
+        try:
+            yield queue
+        finally:
+            self._tls.queue = None
+
+    def commit(self, ops: List[ChargeOp]) -> None:
+        """Record a queue of deferred charges, in order."""
+        for is_read, klass, pages, nbytes, t in ops:
+            if is_read:
+                self.stats.record_read(klass, pages, nbytes, t)
+            else:
+                self.stats.record_write(klass, pages, nbytes, t)
+
+    def _charge(self, is_read: bool, klass: str, pages: int, nbytes: int, t: float) -> None:
+        queue = getattr(self._tls, "queue", None)
+        if queue is not None:
+            queue.append((is_read, klass, pages, nbytes, t))
+        elif is_read:
+            self.stats.record_read(klass, pages, nbytes, t)
+        else:
+            self.stats.record_write(klass, pages, nbytes, t)
+
     # -- I/O -------------------------------------------------------------
 
     def read_batch(self, channel_ids: ChannelVector, klass: str, useful_bytes: Optional[int] = None) -> float:
@@ -115,7 +162,7 @@ class SimulatedSSD:
         if arr.size == 0:
             return 0.0
         t = self._batch_time(arr, self.config.ssd.read_latency_us)
-        self.stats.record_read(klass, int(arr.size), int(arr.size) * self._page_size, t)
+        self._charge(True, klass, int(arr.size), int(arr.size) * self._page_size, t)
         return t
 
     def write_batch(self, channel_ids: ChannelVector, klass: str) -> float:
@@ -133,7 +180,7 @@ class SimulatedSSD:
             return 0.0
         per_channel = -(-int(arr.size) // self._channels)
         t = float(self.config.ssd.batch_overhead_us + per_channel * self.config.ssd.write_latency_us)
-        self.stats.record_write(klass, int(arr.size), int(arr.size) * self._page_size, t)
+        self._charge(False, klass, int(arr.size), int(arr.size) * self._page_size, t)
         return t
 
     # -- convenience ------------------------------------------------------

@@ -1,0 +1,228 @@
+"""Batch-kernel parity and pipeline determinism.
+
+Two guarantees from the hot-path overhaul, both exact:
+
+* every algorithm with a ``process_batch`` kernel computes the *same*
+  values, activation traces and message counts as its scalar
+  ``process`` path, in both sync and async modes, on multiple graphs;
+* the group-prefetch pipeline (``pipeline_depth`` > 0) reproduces the
+  serial engine bit-for-bit: identical :class:`SuperstepRecord`
+  streams, values, page counters and simulated timing.
+"""
+
+import numpy as np
+import pytest
+
+from repro.config import small_test_config
+from repro.core import MultiLogVC
+from repro.core.batch import segment_min, segment_mode, segment_sum
+from repro.graph.datasets import small_rmat
+from repro.algorithms import (
+    BFSProgram,
+    CommunityDetectionProgram,
+    DeltaPageRankProgram,
+    GraphColoringProgram,
+    MISProgram,
+    SSSPProgram,
+    WCCProgram,
+)
+from repro.algorithms.coloring import coloring_is_proper
+from repro.algorithms.mis import is_independent_set, is_maximal
+
+
+def scalar_variant(prog):
+    prog.supports_batch = False
+    return prog
+
+
+# (factory, needs weighted graph, max supersteps)
+BATCH_PROGRAMS = [
+    pytest.param(lambda: DeltaPageRankProgram(threshold=1e-3), False, 12, id="pagerank"),
+    pytest.param(lambda: BFSProgram(0), False, 30, id="bfs"),
+    pytest.param(lambda: WCCProgram(), False, 40, id="wcc"),
+    pytest.param(lambda: SSSPProgram(source=0), True, 30, id="sssp"),
+    pytest.param(lambda: CommunityDetectionProgram(), False, 10, id="cdlp"),
+    pytest.param(lambda: GraphColoringProgram(), False, 20, id="coloring"),
+    pytest.param(lambda: MISProgram(), False, 20, id="mis"),
+]
+
+
+def graph_for(seed: int, weighted: bool):
+    return small_rmat(n=256, m=2048, seed=seed, weighted=weighted)
+
+
+def run_pair(factory, weighted, steps, mode, seed):
+    """Run batch and scalar variants on the same graph; return both results."""
+    cfg = small_test_config()
+    g = graph_for(seed, weighted)
+    batch = MultiLogVC(g, factory(), cfg, mode=mode, min_intervals=4).run(steps)
+    scalar = MultiLogVC(g, scalar_variant(factory()), cfg, mode=mode, min_intervals=4).run(steps)
+    return batch, scalar
+
+
+class TestBatchScalarParity:
+    """Exact equality between batch and scalar kernels, everywhere."""
+
+    @pytest.mark.parametrize("factory,weighted,steps", BATCH_PROGRAMS)
+    @pytest.mark.parametrize("mode", ["sync", "async"])
+    @pytest.mark.parametrize("seed", [3, 11])
+    def test_exact_parity(self, factory, weighted, steps, mode, seed):
+        batch, scalar = run_pair(factory, weighted, steps, mode, seed)
+        assert np.array_equal(
+            np.nan_to_num(batch.values, posinf=-1),
+            np.nan_to_num(scalar.values, posinf=-1),
+        )
+        assert np.array_equal(batch.activity_trace(), scalar.activity_trace())
+        assert [r.messages_sent for r in batch.supersteps] == [
+            r.messages_sent for r in scalar.supersteps
+        ]
+        assert [r.updates_processed for r in batch.supersteps] == [
+            r.updates_processed for r in scalar.supersteps
+        ]
+        assert batch.n_supersteps == scalar.n_supersteps
+
+    def test_batch_kernels_actually_engaged(self):
+        """Guard against silently falling back to scalar everywhere."""
+        for factory, weighted, _ in [
+            (lambda: SSSPProgram(source=0), True, 0),
+            (lambda: CommunityDetectionProgram(), False, 0),
+            (lambda: GraphColoringProgram(), False, 0),
+            (lambda: MISProgram(), False, 0),
+        ]:
+            assert factory().supports_batch
+
+    def test_coloring_batch_result_is_proper(self):
+        cfg = small_test_config()
+        g = graph_for(3, False)
+        r = MultiLogVC(g, GraphColoringProgram(), cfg).run(50)
+        assert coloring_is_proper(g, r.values)
+
+    def test_mis_batch_result_is_maximal_independent(self):
+        cfg = small_test_config()
+        g = graph_for(3, False)
+        r = MultiLogVC(g, MISProgram(), cfg).run(60)
+        assert is_independent_set(g, r.values)
+        assert is_maximal(g, r.values)
+
+
+def records_equal(a, b):
+    """Bit-exact comparison of two SuperstepRecord lists."""
+    if len(a) != len(b):
+        return False
+    return all(ra == rb for ra, rb in zip(a, b))
+
+
+PIPELINE_PROGRAMS = [
+    pytest.param(lambda: DeltaPageRankProgram(threshold=1e-3), False, id="pagerank"),
+    pytest.param(lambda: SSSPProgram(source=0), True, id="sssp"),
+    pytest.param(lambda: CommunityDetectionProgram(), False, id="cdlp"),
+    pytest.param(lambda: GraphColoringProgram(), False, id="coloring"),
+    pytest.param(lambda: MISProgram(), False, id="mis"),
+]
+
+
+class TestPipelineDeterminism:
+    """pipeline_depth > 0 must be bit-identical to serial (depth 0)."""
+
+    @pytest.mark.parametrize("factory,weighted", PIPELINE_PROGRAMS)
+    def test_depth0_vs_depth2_identical(self, factory, weighted):
+        g = graph_for(3, weighted)
+        results = []
+        for depth in (0, 2):
+            cfg = small_test_config().with_pipeline_depth(depth)
+            results.append(
+                MultiLogVC(g, factory(), cfg, min_intervals=4).run(12, seed=0)
+            )
+        serial, piped = results
+        assert np.array_equal(
+            np.nan_to_num(serial.values, posinf=-1),
+            np.nan_to_num(piped.values, posinf=-1),
+        )
+        assert records_equal(serial.supersteps, piped.supersteps)
+        assert serial.pages_read == piped.pages_read
+        assert serial.pages_written == piped.pages_written
+        assert serial.stats.total_time_us == piped.stats.total_time_us
+        assert serial.compute_time_us == piped.compute_time_us
+
+    def test_depth1_and_depth3_also_identical(self):
+        g = graph_for(11, False)
+        baseline = None
+        for depth in (0, 1, 3):
+            cfg = small_test_config().with_pipeline_depth(depth)
+            r = MultiLogVC(g, DeltaPageRankProgram(threshold=1e-3), cfg).run(10, seed=0)
+            if baseline is None:
+                baseline = r
+            else:
+                assert np.array_equal(baseline.values, r.values)
+                assert records_equal(baseline.supersteps, r.supersteps)
+                assert baseline.stats.total_time_us == r.stats.total_time_us
+
+    def test_async_mode_forces_serial_but_still_runs(self):
+        # Async disables prefetch internally (cross-group message flow);
+        # a nonzero depth must not change results there either.
+        g = graph_for(3, False)
+        runs = []
+        for depth in (0, 2):
+            cfg = small_test_config().with_pipeline_depth(depth)
+            runs.append(MultiLogVC(g, WCCProgram(), cfg, mode="async").run(40, seed=0))
+        assert np.array_equal(runs[0].values, runs[1].values)
+        assert records_equal(runs[0].supersteps, runs[1].supersteps)
+
+    def test_depth_validation(self):
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError):
+            small_test_config().with_pipeline_depth(-1)
+
+
+class TestSegmentedHelpers:
+    """The segmented reductions behind the new batch kernels."""
+
+    def test_segment_min_basic(self):
+        v = np.array([5.0, 2.0, 9.0, 1.0, 4.0])
+        off = np.array([0, 2, 2, 5])
+        out = segment_min(v, off, default=np.inf)
+        assert list(out) == [2.0, np.inf, 1.0]
+
+    def test_segment_min_where(self):
+        v = np.array([5.0, -1.0, 9.0, -1.0, 4.0])
+        off = np.array([0, 2, 5])
+        out = segment_min(v, off, where=v >= 0, default=np.inf)
+        assert list(out) == [5.0, 4.0]
+
+    def test_segment_min_all_filtered(self):
+        v = np.array([-1.0, -2.0])
+        off = np.array([0, 2])
+        out = segment_min(v, off, where=v >= 0, default=123.0)
+        assert list(out) == [123.0]
+
+    def test_segment_sum(self):
+        v = np.array([1.0, 2.0, 3.0, 4.0])
+        off = np.array([0, 1, 1, 4])
+        out = segment_sum(v, off)
+        assert list(out) == [1.0, 0.0, 9.0]
+
+    def test_segment_sum_where(self):
+        v = np.array([1.0, 2.0, 3.0, 4.0])
+        off = np.array([0, 2, 4])
+        out = segment_sum(v, off, where=v > 1.5)
+        assert list(out) == [2.0, 7.0]
+
+    def test_segment_mode_majority(self):
+        v = np.array([3.0, 1.0, 3.0, 2.0, 2.0, 2.0])
+        off = np.array([0, 3, 6])
+        out = segment_mode(v, off)
+        assert list(out) == [3.0, 2.0]
+
+    def test_segment_mode_tie_prefers_smaller(self):
+        # Matches the scalar frequent_label tie-break: smallest value wins.
+        v = np.array([7.0, 4.0, 4.0, 7.0])
+        off = np.array([0, 4])
+        out = segment_mode(v, off)
+        assert list(out) == [4.0]
+
+    def test_segment_mode_empty_segment_default(self):
+        v = np.array([5.0])
+        off = np.array([0, 0, 1])
+        out = segment_mode(v, off, default=-1.0)
+        assert list(out) == [-1.0, 5.0]

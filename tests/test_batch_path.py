@@ -67,10 +67,10 @@ class TestBatchScalarEquivalence:
         r = MultiLogVC(two_comp, WCCProgram(), cfg).run(100)
         assert np.array_equal(r.values, wcc_reference(two_comp))
 
-    def test_batch_skipped_with_mutation_or_state(self, cfg, rmat256):
+    def test_batch_with_edge_state_runs(self, cfg, rmat256):
         from repro.algorithms import CommunityDetectionProgram
 
-        # CDLP uses edge state: always scalar; just confirm it still runs.
+        # CDLP uses edge state: batched via the gather/scatter copy path.
         r = MultiLogVC(rmat256, CommunityDetectionProgram(), cfg).run(5)
         assert r.n_supersteps > 0
 
