@@ -6,13 +6,18 @@ as a Python library on a deterministic simulated-SSD substrate.
 
 Quickstart::
 
-    from repro import MultiLogVC, GraphChi
+    import repro
     from repro.graph.datasets import cf_like
     from repro.algorithms import DeltaPageRankProgram
 
     graph = cf_like("test")
-    result = MultiLogVC(graph, DeltaPageRankProgram()).run(max_supersteps=15)
+    result = repro.run(graph, DeltaPageRankProgram(), engine="multilogvc")
     print(result.summary())
+
+The :func:`repro.run` facade accepts any engine name
+(``multilogvc``/``graphchi``/``grafboost``/``gridgraph``/``xstream``),
+consolidated :class:`EngineOptions`, and the observability hooks
+(``tracer=``, ``metrics=``, ``progress=``); see :mod:`repro.obs`.
 
 See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 paper-vs-measured record of every table and figure.
@@ -29,7 +34,7 @@ from .core import (
     VertexProgram,
     speedup,
 )
-from .baselines import GraFBoost, GraphChi
+from .baselines import GraFBoost, GraphChi, GridGraph, XStream
 from .errors import (
     BudgetExceededError,
     ConfigError,
@@ -40,6 +45,8 @@ from .errors import (
     StorageError,
 )
 from .graph import CSRGraph
+from .options import EngineOptions
+from .runner import ENGINES, run
 
 __version__ = "1.0.0"
 
@@ -57,6 +64,11 @@ __all__ = [
     "speedup",
     "GraFBoost",
     "GraphChi",
+    "GridGraph",
+    "XStream",
+    "EngineOptions",
+    "ENGINES",
+    "run",
     "CSRGraph",
     "ReproError",
     "ConfigError",

@@ -8,8 +8,9 @@ extension.  All four run the same
 SSD, with the same host-memory budget -- the paper's fairness setup.
 """
 
+from ..options import EngineOptions
 from .grafboost import GraFBoost
 from .graphchi import GraphChi
 from .gridgraph import GridGraph, XStream
 
-__all__ = ["GraFBoost", "GraphChi", "GridGraph", "XStream"]
+__all__ = ["EngineOptions", "GraFBoost", "GraphChi", "GridGraph", "XStream"]

@@ -32,7 +32,7 @@ I/O cost model of the external sort of an ``L``-page log with a
 from __future__ import annotations
 
 import math
-from typing import List, Optional
+from typing import Callable, List, Optional
 
 import numpy as np
 
@@ -41,6 +41,10 @@ from ..errors import EngineError, ProgramError
 from ..graph.csr import CSRGraph
 from ..graph.partition import uniform_partition
 from ..graph.storage import GraphOnSSD
+from ..obs.context import current_tracer
+from ..obs.metrics import NULL_METRICS, MetricsRegistry
+from ..obs.tracer import Tracer
+from ..options import _UNSET, EngineOptions, resolve_options
 from ..ssd.filesystem import SimFS
 from ..core.active import ActiveTracker
 from ..core.api import VertexContext, VertexProgram
@@ -67,24 +71,37 @@ class GraFBoost:
         program: VertexProgram,
         config: SimConfig = DEFAULT_CONFIG,
         fs: Optional[SimFS] = None,
-        adapted: bool = False,
-        merge_fanout: int = 16,
+        adapted=_UNSET,
+        merge_fanout=_UNSET,
+        *,
+        options: Optional[EngineOptions] = None,
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        progress: Optional[Callable[[SuperstepRecord], None]] = None,
     ) -> None:
+        options = resolve_options(
+            self.name, options, adapted=adapted, merge_fanout=merge_fanout
+        )
         if program.mutates_structure:
             raise EngineError("the GraFBoost baseline runs static graphs")
-        if not adapted and program.combine is None:
+        if not options.adapted and program.combine is None:
             raise EngineError(
                 "plain GraFBoost requires a combine operator; "
                 "pass adapted=True to keep all updates (paper §VIII adaptation)"
             )
-        if merge_fanout < 2:
-            raise EngineError("merge_fanout must be >= 2")
         self.graph = graph
         self.program = program
         self.config = config
-        self.adapted = adapted
-        self.merge_fanout = merge_fanout
+        self.options = options
+        self.adapted = options.adapted
+        self.merge_fanout = options.merge_fanout
         self.fs = fs if fs is not None else SimFS(config)
+        self.tracer = tracer if tracer is not None else current_tracer()
+        self.metrics_registry = metrics
+        self.progress = progress
+        # Rebound to the live registry's counters at run() time.
+        self._c_sort_runs = NULL_METRICS.counter("grafboost.sort_runs")
+        self._c_sort_passes = NULL_METRICS.counter("grafboost.sort_passes")
         need_vals = program.needs_weights or program.uses_edge_state
         self.storage = GraphOnSSD(
             graph,
@@ -94,7 +111,7 @@ class GraFBoost:
             name="gfgraph",
             with_weights=need_vals,
         )
-        if adapted:
+        if options.adapted:
             self.name = "grafboost-adapted"
 
     # -- external sort cost model ------------------------------------------
@@ -141,12 +158,24 @@ class GraFBoost:
         # Merge passes: F-way hardware merger; cross-run duplicates only
         # collapse on the final pass, so intermediate passes stream the
         # run-generation size.
+        n_passes = 0
         if runs > 1:
             n_passes = max(1, math.ceil(math.log(runs, self.merge_fanout)))
             for p in range(n_passes):
                 last = p == n_passes - 1
                 dev.sequential_read_time(run_pages, KLASS_GFSORT)
                 dev.sequential_write_time(combined_pages if last else run_pages, KLASS_GFSORT)
+        self._c_sort_runs.inc(runs)
+        self._c_sort_passes.inc(n_passes)
+        if self.tracer.enabled:
+            self.tracer.emit(
+                "extsort",
+                raw_pages=raw_pages,
+                run_pages=run_pages,
+                combined_pages=combined_pages,
+                runs=runs,
+                passes=n_passes,
+            )
         self._sorted_pages = combined_pages
         return batch
 
@@ -158,8 +187,24 @@ class GraFBoost:
         n = self.graph.n
         rng = np.random.default_rng(seed)
         meter = ComputeMeter(cfg.compute)
-        tracker = ActiveTracker(n, cfg.edgelog_history_window)
+        tracer = self.tracer
+        reg = self.metrics_registry if self.metrics_registry is not None else NULL_METRICS
+        self._c_sort_runs = reg.counter("grafboost.sort_runs")
+        self._c_sort_passes = reg.counter("grafboost.sort_passes")
+        c_flushed = reg.counter("grafboost.log_pages_flushed")
+        trace_start = len(tracer.events)
         dev = self.fs.device
+        if tracer.enabled:
+            tracer.bind_clock(lambda: dev.now_us + meter.time_us)
+            tracer.set_step(-1)
+            tracer.emit(
+                "run_begin",
+                engine=self.name,
+                program=prog.name,
+                adapted=self.adapted,
+                n_vertices=int(n),
+            )
+        tracker = ActiveTracker(n, cfg.edgelog_history_window)
         stats_start = self.fs.stats.snapshot()
         files = self.storage.interval_files(0)
 
@@ -183,6 +228,14 @@ class GraFBoost:
                 break
             stats_before = self.fs.stats.snapshot()
             compute_before = meter.time_us
+            if tracer.enabled:
+                tracer.set_step(step)
+                tracer.emit(
+                    "superstep_begin",
+                    active=int(tracker.n_current),
+                    pending_messages=int(pending.n),
+                )
+                tracer.emit("log_stream", pages=int(self._sorted_pages))
 
             # Stream the sorted update log of the previous superstep.
             dev.sequential_read_time(self._sorted_pages, KLASS_GFLOG)
@@ -191,12 +244,20 @@ class GraFBoost:
             files.colidx.read_all()
             if files.values is not None:
                 files.values.read_all()
+            if tracer.enabled:
+                tracer.emit(
+                    "graph_stream",
+                    rowptr_pages=int(files.rowptr.n_pages),
+                    colidx_pages=int(files.colidx.n_pages),
+                    val_pages=int(files.values.n_pages) if files.values is not None else 0,
+                )
 
             uniq, offsets = pending.group()
             active_ids = np.union1d(uniq.astype(np.int64), tracker.current_ids)
             log_buffer = RecordPageBuffer(
                 UPDATE_FIELDS, UPDATE_DTYPES, cfg.updates_per_page
             )
+            log_buffer.register_metrics(reg, "gflog.buffer")
             raw_flushed_pages = [0]
             sent = [0]
 
@@ -206,7 +267,10 @@ class GraFBoost:
                     if k:
                         log_buffer.pop_sealed(k)  # records kept separately below
                         raw_flushed_pages[0] += k
+                        c_flushed.inc(k)
                         dev.sequential_write_time(k, KLASS_GFLOG)
+                        if tracer.enabled:
+                            tracer.emit("log_flush", pages=int(k), tail=False)
 
             out_dest: List[np.ndarray] = []
             out_src: List[np.ndarray] = []
@@ -294,7 +358,10 @@ class GraFBoost:
             tail = log_buffer.pop_sealed()
             if tail:
                 raw_flushed_pages[0] += len(tail)
+                c_flushed.inc(len(tail))
                 dev.sequential_write_time(len(tail), KLASS_GFLOG)
+                if tracer.enabled:
+                    tracer.emit("log_flush", pages=len(tail), tail=True)
             raw = UpdateBatch.concat(
                 [
                     UpdateBatch.of(d, s, x)
@@ -308,26 +375,31 @@ class GraFBoost:
 
             prog.on_superstep_end(step, values, rng)
             delta = self.fs.stats.snapshot() - stats_before
-            records.append(
-                SuperstepRecord(
-                    index=step,
-                    active_vertices=processed,
-                    updates_processed=updates_processed,
-                    messages_sent=sent[0],
-                    edges_scanned=edges_scanned,
-                    storage_time_us=delta.total_time_us,
-                    compute_time_us=meter.time_us - compute_before,
-                    pages_read=delta.pages_read,
-                    pages_written=delta.pages_written,
-                    pages_read_by_class={k: c.pages for k, c in delta.reads.items()},
-                )
+            rec = SuperstepRecord(
+                index=step,
+                active_vertices=processed,
+                updates_processed=updates_processed,
+                messages_sent=sent[0],
+                edges_scanned=edges_scanned,
+                storage_time_us=delta.total_time_us,
+                compute_time_us=meter.time_us - compute_before,
+                pages_read=delta.pages_read,
+                pages_written=delta.pages_written,
+                pages_read_by_class={k: c.pages for k, c in delta.reads.items()},
             )
+            records.append(rec)
+            if tracer.enabled:
+                tracer.emit("superstep_end", **rec.to_dict())
+            if self.progress is not None:
+                self.progress(rec)
             tracker.advance()
             if prog.is_converged(values):
                 converged = True
                 break
 
         stats = self.fs.stats.snapshot() - stats_start
+        if tracer.enabled:
+            tracer.emit("run_end", engine=self.name, converged=converged, supersteps=len(records))
         return RunResult(
             engine=self.name,
             program=prog.name,
@@ -336,4 +408,6 @@ class GraFBoost:
             converged=converged,
             stats=stats,
             compute_time_us=meter.time_us,
+            trace=tracer.events[trace_start:] if tracer.enabled else None,
+            metrics=reg.snapshot() if self.metrics_registry is not None else None,
         )

@@ -22,7 +22,7 @@ GraphChi).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -30,6 +30,10 @@ from ..config import DEFAULT_CONFIG, SimConfig
 from ..errors import EngineError, ProgramError
 from ..graph.csr import CSRGraph
 from ..graph.shards import ShardedGraph
+from ..obs.context import current_tracer
+from ..obs.metrics import NULL_METRICS, MetricsRegistry
+from ..obs.tracer import Tracer
+from ..options import EngineOptions, resolve_options
 from ..ssd.filesystem import SimFS
 from ..core.active import ActiveTracker
 from ..core.api import VertexContext, VertexProgram
@@ -52,7 +56,14 @@ class GraphChi:
         program: VertexProgram,
         config: SimConfig = DEFAULT_CONFIG,
         fs: Optional[SimFS] = None,
+        *,
+        options: Optional[EngineOptions] = None,
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        progress: Optional[Callable[[SuperstepRecord], None]] = None,
     ) -> None:
+        # GraphChi has no tuning knobs; validation rejects stray options.
+        self.options = resolve_options(self.name, options)
         if program.mutates_structure:
             raise EngineError(
                 "structural updates are implemented on the MultiLogVC engine; "
@@ -64,6 +75,9 @@ class GraphChi:
         self.program = program
         self.config = config
         self.fs = fs if fs is not None else SimFS(config)
+        self.tracer = tracer if tracer is not None else current_tracer()
+        self.metrics_registry = metrics
+        self.progress = progress
         self.shards = ShardedGraph(graph, self.fs, config)
 
     # ------------------------------------------------------------------
@@ -76,6 +90,22 @@ class GraphChi:
         intervals = shards.intervals
         rng = np.random.default_rng(seed)
         meter = ComputeMeter(cfg.compute)
+        tracer = self.tracer
+        reg = self.metrics_registry if self.metrics_registry is not None else NULL_METRICS
+        shard_loads = reg.counter("graphchi.shard_loads")
+        window_reads = reg.counter("graphchi.window_reads")
+        trace_start = len(tracer.events)
+        if tracer.enabled:
+            dev = self.fs.device
+            tracer.bind_clock(lambda: dev.now_us + meter.time_us)
+            tracer.set_step(-1)
+            tracer.emit(
+                "run_begin",
+                engine=self.name,
+                program=prog.name,
+                n_vertices=int(n),
+                n_intervals=int(self.shards.intervals.n_intervals),
+            )
         tracker = ActiveTracker(n, cfg.edgelog_history_window)
         stats_start = self.fs.stats.snapshot()
 
@@ -115,6 +145,9 @@ class GraphChi:
             compute_before = meter.time_us
             sent_before = sent_counter[0]
             active_ids = tracker.current_ids
+            if tracer.enabled:
+                tracer.set_step(step)
+                tracer.emit("superstep_begin", active=int(tracker.n_current))
             processed = 0
             updates_processed = 0
             edges_scanned = 0
@@ -136,6 +169,8 @@ class GraphChi:
                 # --- load memory shard + sliding windows -----------------
                 io_shard = shards.shards[i].file.read_all()
                 _ = io_shard
+                shard_loads.inc()
+                n_windows = 0
                 for j, other in enumerate(shards.shards):
                     if j == i:
                         continue
@@ -144,6 +179,16 @@ class GraphChi:
                         other.file.read_ranges(
                             np.array([lo_r], dtype=np.int64), np.array([hi_r], dtype=np.int64)
                         )
+                        n_windows += 1
+                window_reads.inc(n_windows)
+                if tracer.enabled:
+                    tracer.emit(
+                        "shard_load",
+                        interval=int(i),
+                        shard_pages=int(shards.shards[i].file.n_pages),
+                        windows=n_windows,
+                        active=int(verts.shape[0]),
+                    )
                 # --- process active vertices ------------------------------
                 iv_updates = 0
                 iv_edges = 0
@@ -223,26 +268,31 @@ class GraphChi:
 
             prog.on_superstep_end(step, values, rng)
             delta = self.fs.stats.snapshot() - stats_before
-            records.append(
-                SuperstepRecord(
-                    index=step,
-                    active_vertices=processed,
-                    updates_processed=updates_processed,
-                    messages_sent=sent_counter[0] - sent_before,
-                    edges_scanned=edges_scanned,
-                    storage_time_us=delta.total_time_us,
-                    compute_time_us=meter.time_us - compute_before,
-                    pages_read=delta.pages_read,
-                    pages_written=delta.pages_written,
-                    pages_read_by_class={k: c.pages for k, c in delta.reads.items()},
-                )
+            rec = SuperstepRecord(
+                index=step,
+                active_vertices=processed,
+                updates_processed=updates_processed,
+                messages_sent=sent_counter[0] - sent_before,
+                edges_scanned=edges_scanned,
+                storage_time_us=delta.total_time_us,
+                compute_time_us=meter.time_us - compute_before,
+                pages_read=delta.pages_read,
+                pages_written=delta.pages_written,
+                pages_read_by_class={k: c.pages for k, c in delta.reads.items()},
             )
+            records.append(rec)
+            if tracer.enabled:
+                tracer.emit("superstep_end", **rec.to_dict())
+            if self.progress is not None:
+                self.progress(rec)
             tracker.advance()
             if prog.is_converged(values):
                 converged = True
                 break
 
         stats = self.fs.stats.snapshot() - stats_start
+        if tracer.enabled:
+            tracer.emit("run_end", engine=self.name, converged=converged, supersteps=len(records))
         return RunResult(
             engine=self.name,
             program=prog.name,
@@ -251,4 +301,6 @@ class GraphChi:
             converged=converged,
             stats=stats,
             compute_time_us=meter.time_us,
+            trace=tracer.events[trace_start:] if tracer.enabled else None,
+            metrics=reg.snapshot() if self.metrics_registry is not None else None,
         )

@@ -32,14 +32,18 @@ active-page loading wins (the §IX claim).
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import Callable, List, Optional, Tuple
 
 import numpy as np
 
 from ..config import DEFAULT_CONFIG, SimConfig
 from ..errors import EngineError, ProgramError
 from ..graph.csr import CSRGraph
-from ..graph.partition import VertexIntervals, partition_by_edge_volume
+from ..graph.partition import VertexIntervals, partition_by_edge_volume, uniform_partition
+from ..obs.context import current_tracer
+from ..obs.metrics import NULL_METRICS, MetricsRegistry
+from ..obs.tracer import Tracer
+from ..options import _UNSET, EngineOptions, resolve_options
 from ..ssd.filesystem import SimFS
 from ..core.active import ActiveTracker
 from ..core.api import VertexContext, VertexProgram
@@ -65,8 +69,14 @@ class GridGraph:
         program: VertexProgram,
         config: SimConfig = DEFAULT_CONFIG,
         fs: Optional[SimFS] = None,
-        intervals: Optional[VertexIntervals] = None,
+        intervals=_UNSET,
+        *,
+        options: Optional[EngineOptions] = None,
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        progress: Optional[Callable[[SuperstepRecord], None]] = None,
     ) -> None:
+        options = resolve_options(self.name, options, intervals=intervals)
         if program.combine is None:
             raise EngineError(
                 "GridGraph's streaming accumulation requires a combine operator "
@@ -77,7 +87,14 @@ class GridGraph:
         self.graph = graph
         self.program = program
         self.config = config
+        self.options = options
         self.fs = fs if fs is not None else SimFS(config)
+        self.tracer = tracer if tracer is not None else current_tracer()
+        self.metrics_registry = metrics
+        self.progress = progress
+        intervals = options.intervals
+        if intervals is None and options.grid_p is not None:
+            intervals = uniform_partition(graph.n, options.grid_p)
         if intervals is None:
             intervals = partition_by_edge_volume(
                 graph, config.memory.sort_bytes, 2 * config.records.vid_bytes
@@ -140,6 +157,22 @@ class GridGraph:
         n = self.graph.n
         rng = np.random.default_rng(seed)
         meter = ComputeMeter(cfg.compute)
+        tracer = self.tracer
+        reg = self.metrics_registry if self.metrics_registry is not None else NULL_METRICS
+        c_rows = reg.counter(f"{self.name}.rows_streamed")
+        c_edge_pages = reg.counter(f"{self.name}.edge_pages_streamed")
+        trace_start = len(tracer.events)
+        if tracer.enabled:
+            dev = self.fs.device
+            tracer.bind_clock(lambda: dev.now_us + meter.time_us)
+            tracer.set_step(-1)
+            tracer.emit(
+                "run_begin",
+                engine=self.name,
+                program=prog.name,
+                n_vertices=int(n),
+                n_intervals=int(self.intervals.n_intervals),
+            )
         tracker = ActiveTracker(n, cfg.edgelog_history_window)
         stats_start = self.fs.stats.snapshot()
 
@@ -161,6 +194,13 @@ class GridGraph:
             stats_before = self.fs.stats.snapshot()
             compute_before = meter.time_us
             active_ids = tracker.current_ids
+            if tracer.enabled:
+                tracer.set_step(step)
+                tracer.emit(
+                    "superstep_begin",
+                    active=int(tracker.n_current),
+                    pending_messages=int(pending.n),
+                )
 
             # --- stream: read every block row with an active source ------
             act_intervals = self._streamed_rows(active_ids)
@@ -170,25 +210,45 @@ class GridGraph:
                 if hi > lo:
                     starts.append(lo)
                     stops.append(hi)
+            edge_pages = 0
             if starts:
                 s_arr = np.asarray(starts, dtype=np.int64)
                 e_arr = np.asarray(stops, dtype=np.int64)
-                self._edge_file.read_ranges(s_arr, e_arr)
+                _, pages, _ = self._edge_file.read_ranges(s_arr, e_arr)
+                edge_pages = int(pages.shape[0])
                 if self._weight_file is not None:
                     self._weight_file.read_ranges(s_arr, e_arr)
+            c_rows.inc(len(act_intervals))
+            c_edge_pages.inc(edge_pages)
+            if tracer.enabled:
+                tracer.emit(
+                    "block_stream",
+                    rows=int(len(act_intervals)),
+                    edge_pages=edge_pages,
+                )
             # Vertex chunks (2nd partitioning level): read the source
             # chunks of every streamed row; destination chunks that
             # accumulate updates are read and written back.
+            src_chunks = 0
+            dst_chunks = 0
             if len(act_intervals):
                 v_lo = self.intervals.boundaries[np.asarray(act_intervals)]
                 v_hi = self.intervals.boundaries[np.asarray(act_intervals) + 1]
                 self._vertex_file.read_ranges(v_lo, v_hi)
+                src_chunks = int(len(act_intervals))
             if pending.n:
                 dst_iv = np.unique(self.intervals.interval_of(pending.dest.astype(np.int64)))
                 d_lo = self.intervals.boundaries[dst_iv]
                 d_hi = self.intervals.boundaries[dst_iv + 1]
                 self._vertex_file.read_ranges(d_lo, d_hi)
                 self._vertex_file.write_ranges(d_lo, d_hi)
+                dst_chunks = int(dst_iv.shape[0])
+            if tracer.enabled:
+                tracer.emit(
+                    "vertex_chunks",
+                    src_chunks=src_chunks,
+                    dst_chunks=dst_chunks,
+                )
 
             # --- process active vertices with accumulated updates --------
             pending = pending.sort_by_dest()
@@ -271,26 +331,31 @@ class GridGraph:
 
             prog.on_superstep_end(step, values, rng)
             delta = self.fs.stats.snapshot() - stats_before
-            records.append(
-                SuperstepRecord(
-                    index=step,
-                    active_vertices=processed,
-                    updates_processed=updates_processed,
-                    messages_sent=sent[0],
-                    edges_scanned=edges_scanned,
-                    storage_time_us=delta.total_time_us,
-                    compute_time_us=meter.time_us - compute_before,
-                    pages_read=delta.pages_read,
-                    pages_written=delta.pages_written,
-                    pages_read_by_class={k: c.pages for k, c in delta.reads.items()},
-                )
+            rec = SuperstepRecord(
+                index=step,
+                active_vertices=processed,
+                updates_processed=updates_processed,
+                messages_sent=sent[0],
+                edges_scanned=edges_scanned,
+                storage_time_us=delta.total_time_us,
+                compute_time_us=meter.time_us - compute_before,
+                pages_read=delta.pages_read,
+                pages_written=delta.pages_written,
+                pages_read_by_class={k: c.pages for k, c in delta.reads.items()},
             )
+            records.append(rec)
+            if tracer.enabled:
+                tracer.emit("superstep_end", **rec.to_dict())
+            if self.progress is not None:
+                self.progress(rec)
             tracker.advance()
             if prog.is_converged(values):
                 converged = True
                 break
 
         stats = self.fs.stats.snapshot() - stats_start
+        if tracer.enabled:
+            tracer.emit("run_end", engine=self.name, converged=converged, supersteps=len(records))
         return RunResult(
             engine=self.name,
             program=prog.name,
@@ -299,6 +364,8 @@ class GridGraph:
             converged=converged,
             stats=stats,
             compute_time_us=meter.time_us,
+            trace=tracer.events[trace_start:] if tracer.enabled else None,
+            metrics=reg.snapshot() if self.metrics_registry is not None else None,
         )
 
 

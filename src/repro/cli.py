@@ -17,7 +17,16 @@ Examples::
     python -m repro list
     python -m repro run fig5 --scale test
     python -m repro run fig6 --scale bench --datasets cf
+    python -m repro run fig5 --scale test --trace /tmp/fig5.jsonl --json /tmp/fig5.json
     python -m repro info
+
+``run`` artifacts:
+
+* ``--trace PATH`` -- install an ambient :class:`~repro.obs.TraceRecorder`
+  for every engine run the experiment performs and write the combined
+  event stream as JSONL;
+* ``--csv PATH`` / ``--json PATH`` -- export the experiment tables
+  (one file per table when an experiment produces several).
 """
 
 from __future__ import annotations
@@ -25,6 +34,7 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+from pathlib import Path
 from typing import List, Optional
 
 from .config import DEFAULT_CONFIG
@@ -47,6 +57,23 @@ def cmd_list(_args) -> int:
     return 0
 
 
+def _export_results(results: List[ExperimentResult], path: str, kind: str) -> None:
+    """Write experiment tables to ``path`` (suffixed when several)."""
+    from .metrics.export import save_csv, save_json
+
+    save = save_csv if kind == "csv" else save_json
+    p = Path(path)
+    if len(results) == 1:
+        written = [save(results[0], p)]
+    else:
+        written = [
+            save(r, p.with_name(f"{p.stem}-{r.experiment}{p.suffix}"))
+            for r in results
+        ]
+    for w in written:
+        print(f"[{kind} written to {w}]")
+
+
 def cmd_run(args) -> int:
     names = list(ALL_EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     unknown = [n for n in names if n not in ALL_EXPERIMENTS]
@@ -54,6 +81,12 @@ def cmd_run(args) -> int:
         print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
         print(f"choose from: {', '.join(ALL_EXPERIMENTS)} or 'all'", file=sys.stderr)
         return 2
+    tracer = None
+    if args.trace:
+        from .obs import TraceRecorder
+
+        tracer = TraceRecorder()
+    collected: List[ExperimentResult] = []
     for name in names:
         fn = ALL_EXPERIMENTS[name]
         kwargs = {}
@@ -62,9 +95,30 @@ def cmd_run(args) -> int:
         if args.datasets and name not in ("fig5", "ablations", "table1"):
             kwargs["datasets"] = tuple(args.datasets.split(","))
         t0 = time.time()
-        results = fn(**kwargs)
+        if tracer is not None:
+            # Ambient tracer: every engine the experiment constructs
+            # picks it up via repro.obs.current_tracer().
+            from .obs import use_tracer
+
+            with use_tracer(tracer):
+                results = fn(**kwargs)
+        else:
+            results = fn(**kwargs)
         _print_results(results)
+        if isinstance(results, ExperimentResult):
+            collected.append(results)
+        else:
+            collected.extend(results)
         print(f"[{name} regenerated in {time.time() - t0:.1f}s]\n")
+    if tracer is not None:
+        from .obs import write_jsonl
+
+        write_jsonl(tracer.events, args.trace)
+        print(f"[trace: {len(tracer.events)} events written to {args.trace}]")
+    if args.csv:
+        _export_results(collected, args.csv, "csv")
+    if args.json:
+        _export_results(collected, args.json, "json")
     return 0
 
 
@@ -99,6 +153,12 @@ def build_parser() -> argparse.ArgumentParser:
     runp.add_argument("experiment")
     runp.add_argument("--scale", choices=("test", "bench", "large"), default=None)
     runp.add_argument("--datasets", default=None, help="comma list, e.g. cf,yws")
+    runp.add_argument("--trace", default=None, metavar="PATH",
+                      help="record engine trace events and write them as JSONL")
+    runp.add_argument("--csv", default=None, metavar="PATH",
+                      help="export the experiment table(s) as CSV")
+    runp.add_argument("--json", default=None, metavar="PATH",
+                      help="export the experiment table(s) as JSON")
     runp.set_defaults(func=cmd_run)
     sub.add_parser("info", help="show configuration and datasets").set_defaults(func=cmd_info)
     return p

@@ -32,6 +32,7 @@ import numpy as np
 from ..config import SimConfig
 from ..mem.budget import MemoryBudget
 from ..mem.pagebuffer import ByteStreamPager
+from ..obs.metrics import NULL_METRICS, MetricsRegistry
 from ..ssd.file import PageFile
 from ..ssd.filesystem import SimFS
 
@@ -48,6 +49,7 @@ class EdgeLogOptimizer:
         config: SimConfig,
         budget: MemoryBudget,
         name: str = "elog",
+        metrics: MetricsRegistry = NULL_METRICS,
     ) -> None:
         self.fs = fs
         self.n = n_vertices
@@ -70,6 +72,14 @@ class EdgeLogOptimizer:
         self._file_next = self._new_file()
         self._pager = ByteStreamPager(config.ssd.page_size)
         self.vertices_logged = 0
+        #: run-cumulative tallies (vertices_logged resets per superstep)
+        self.considered = 0
+        self.total_logged = 0
+        self.pages_read_total = 0
+        metrics.gauge("edgelog.considered", lambda: self.considered)
+        metrics.gauge("edgelog.logged", lambda: self.total_logged)
+        metrics.gauge("edgelog.pages_read", lambda: self.pages_read_total)
+        metrics.gauge("edgelog.io_time_us", lambda: self.io_time_us)
 
     def _new_file(self) -> PageFile:
         self._gen += 1
@@ -79,6 +89,7 @@ class EdgeLogOptimizer:
 
     def consider(self, v: int, degree: int, predicted_active: bool, page_inefficient: bool) -> bool:
         """Maybe log ``v``'s out-edges for next superstep; True if logged."""
+        self.considered += 1
         if degree <= 0 or not (predicted_active and page_inefficient):
             return False
         rec = self.config.records
@@ -91,6 +102,7 @@ class EdgeLogOptimizer:
             with self._io_lock:
                 self.io_time_us += t
         self.vertices_logged += 1
+        self.total_logged += 1
         return True
 
     # -- read path (during processing of superstep s, for generation s) ---------
@@ -124,6 +136,7 @@ class EdgeLogOptimizer:
         _, t = self._file_cur.read_pages(pages)
         with self._io_lock:
             self.io_time_us += t
+            self.pages_read_total += int(pages.size)
         return t, int(pages.size)
 
     # -- superstep boundary -------------------------------------------------------

@@ -22,16 +22,20 @@ group being processed.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Callable, List, Optional
 
 import numpy as np
 
 from ..config import DEFAULT_CONFIG, SimConfig
-from ..errors import EngineError, ProgramError
+from ..errors import ProgramError
 from ..graph.csr import CSRGraph
-from ..graph.partition import VertexIntervals, partition_by_update_volume
+from ..graph.partition import partition_by_update_volume
 from ..graph.storage import GraphOnSSD
 from ..mem.budget import MemoryBudget
+from ..obs.context import current_tracer
+from ..obs.metrics import NULL_METRICS, MetricsRegistry
+from ..obs.tracer import Tracer
+from ..options import _UNSET, EngineOptions, resolve_options
 from ..ssd.filesystem import SimFS
 from .active import ActiveTracker
 from .api import VertexContext, VertexProgram
@@ -39,7 +43,7 @@ from .edgelog import EdgeLogOptimizer
 from .loader import GraphLoaderUnit
 from .multilog import MultiLogUnit
 from .mutation import MutationBuffer
-from .pipeline import GroupPipeline, PreparedGroup
+from .pipeline import GroupPipeline, PreparedGroup, charge_rollup
 from .results import ComputeMeter, RunResult, SuperstepRecord
 from .sortgroup import SortGroupUnit
 from .update import DATA_DTYPE, SRC_DTYPE, UpdateBatch
@@ -66,18 +70,19 @@ class MultiLogVC:
         Simulation configuration (defaults to the paper-scaled setup).
     fs:
         Optional existing simulated file system (a fresh one otherwise).
-    mode:
-        ``"sync"`` (default) or ``"async"`` computation model (§V-F).
-    enable_edgelog:
-        Toggle for the §V-C edge-log optimizer (ablations disable it).
-    enable_fusing:
-        Toggle for §V-A2 interval fusing; disabling processes one
-        interval per sort/group pass (ablations only).
-    min_intervals:
-        Force at least this many vertex intervals (testing/ablation).
-    intervals:
-        Explicit vertex-interval partition, overriding the §V-A1 sizing
-        rule (testing only).
+    options:
+        Consolidated :class:`~repro.options.EngineOptions` (mode,
+        enable_edgelog, enable_fusing, min_intervals, intervals).
+    tracer:
+        Observability event sink; defaults to the ambient tracer (the
+        null tracer unless :func:`repro.obs.use_tracer` is active).
+    metrics:
+        Optional :class:`~repro.obs.MetricsRegistry` the engine units
+        register their counters/gauges into.
+    progress:
+        Called with each completed :class:`SuperstepRecord`.
+    mode, enable_edgelog, enable_fusing, min_intervals, intervals:
+        Deprecated; merged into ``options`` with a DeprecationWarning.
     """
 
     name = "multilogvc"
@@ -88,14 +93,26 @@ class MultiLogVC:
         program: VertexProgram,
         config: SimConfig = DEFAULT_CONFIG,
         fs: Optional[SimFS] = None,
-        mode: str = "sync",
-        enable_edgelog: bool = True,
-        enable_fusing: bool = True,
-        min_intervals: int = 1,
-        intervals: Optional[VertexIntervals] = None,
+        mode=_UNSET,
+        enable_edgelog=_UNSET,
+        enable_fusing=_UNSET,
+        min_intervals=_UNSET,
+        intervals=_UNSET,
+        *,
+        options: Optional[EngineOptions] = None,
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        progress: Optional[Callable[[SuperstepRecord], None]] = None,
     ) -> None:
-        if mode not in ("sync", "async"):
-            raise EngineError(f"mode must be 'sync' or 'async', got {mode!r}")
+        options = resolve_options(
+            self.name,
+            options,
+            mode=mode,
+            enable_edgelog=enable_edgelog,
+            enable_fusing=enable_fusing,
+            min_intervals=min_intervals,
+            intervals=intervals,
+        )
         if program.uses_edge_state and program.needs_weights:
             raise ProgramError(
                 "uses_edge_state and needs_weights are mutually exclusive: "
@@ -107,15 +124,20 @@ class MultiLogVC:
         self.program = program
         self.config = config
         self.fs = fs if fs is not None else SimFS(config)
-        self.mode = mode
-        self.enable_edgelog = enable_edgelog
-        self.enable_fusing = enable_fusing
+        self.options = options
+        self.mode = options.mode
+        self.enable_edgelog = options.enable_edgelog
+        self.enable_fusing = options.enable_fusing
+        self.tracer = tracer if tracer is not None else current_tracer()
+        self.metrics_registry = metrics
+        self.progress = progress
+        intervals = options.intervals
         if intervals is None:
             intervals = partition_by_update_volume(
                 graph,
                 config.memory.sort_bytes,
                 config.records.update_bytes,
-                min_intervals=min_intervals,
+                min_intervals=options.min_intervals,
             )
         self.intervals = intervals
         need_vals = program.needs_weights or program.uses_edge_state
@@ -138,13 +160,39 @@ class MultiLogVC:
         n = self.graph.n
         rng = np.random.default_rng(seed)
         meter = ComputeMeter(cfg.compute)
+        tracer = self.tracer
+        reg = self.metrics_registry if self.metrics_registry is not None else NULL_METRICS
+        trace_start = len(tracer.events)
+        if tracer.enabled:
+            # Simulated clock: committed storage time + compute time.
+            # Deferred (prefetched) charges only advance it at the replay
+            # point, keeping stamps identical across pipeline depths.
+            dev = self.fs.device
+            tracer.bind_clock(lambda: dev.now_us + meter.time_us)
+            tracer.set_step(-1)
+            tracer.emit(
+                "run_begin",
+                engine=self.name,
+                program=prog.name,
+                mode=self.mode,
+                n_vertices=int(n),
+                n_intervals=int(self.intervals.n_intervals),
+            )
         tracker = ActiveTracker(n, cfg.edgelog_history_window)
-        mlog_cur = MultiLogUnit(self.fs, self.intervals, cfg, self.budget, "mlog.a", tracker=None)
-        mlog_next = MultiLogUnit(self.fs, self.intervals, cfg, self.budget, "mlog.b", tracker=tracker)
-        sortgroup = SortGroupUnit(cfg, self.budget, meter)
-        loader = GraphLoaderUnit(self.storage, cfg)
+        mlog_cur = MultiLogUnit(
+            self.fs, self.intervals, cfg, self.budget, "mlog.a",
+            tracker=None, tracer=tracer, metrics=reg,
+        )
+        mlog_next = MultiLogUnit(
+            self.fs, self.intervals, cfg, self.budget, "mlog.b",
+            tracker=tracker, tracer=tracer, metrics=reg,
+        )
+        sortgroup = SortGroupUnit(cfg, self.budget, meter, metrics=reg)
+        loader = GraphLoaderUnit(self.storage, cfg, metrics=reg)
         edgelog = (
-            EdgeLogOptimizer(self.fs, n, cfg, self.budget) if self.enable_edgelog else None
+            EdgeLogOptimizer(self.fs, n, cfg, self.budget, metrics=reg)
+            if self.enable_edgelog
+            else None
         )
         mutations = MutationBuffer(self.storage, cfg) if prog.mutates_structure else None
         stats_start = self.fs.stats.snapshot()
@@ -191,6 +239,8 @@ class MultiLogVC:
         if mutations is not None:
             mutations.merge_all()
         stats = self.fs.stats.snapshot() - stats_start
+        if tracer.enabled:
+            tracer.emit("run_end", engine=self.name, converged=converged, supersteps=len(records))
         return RunResult(
             engine=self.name,
             program=prog.name,
@@ -199,6 +249,8 @@ class MultiLogVC:
             converged=converged,
             stats=stats,
             compute_time_us=meter.time_us,
+            trace=tracer.events[trace_start:] if tracer.enabled else None,
+            metrics=reg.snapshot() if self.metrics_registry is not None else None,
         )
 
     def _superstep_loop(
@@ -207,6 +259,7 @@ class MultiLogVC:
         mutate_cb, values, prog, cfg, rng,
     ) -> None:
         """Run supersteps until convergence (raises :class:`_Converged`)."""
+        tracer = self.tracer
         for step in range(max_supersteps):
             if tracker.n_current == 0 and mlog_cur.total_messages == 0:
                 raise _Converged
@@ -223,6 +276,18 @@ class MultiLogVC:
                 must_include=must,
                 max_group_intervals=None if self.enable_fusing else 1,
             )
+            if tracer.enabled:
+                tracer.set_step(step)
+                tracer.emit(
+                    "superstep_begin",
+                    active=int(tracker.n_current),
+                    pending_messages=int(mlog_cur.total_messages),
+                )
+                tracer.emit(
+                    "group_plan",
+                    n_groups=len(groups),
+                    group_sizes=[len(g) for g in groups],
+                )
 
             def prepare(group, mlog=mlog_cur, mnext=mlog_next, ids=active_ids):
                 extra: Optional[UpdateBatch] = None
@@ -247,14 +312,34 @@ class MultiLogVC:
             accessed_pages = 0
             hypo_ineff = 0
             avoided_ineff = 0
-            for prepared, charges in pipeline.run(groups, prepare):
+            avoided_pages = 0
+            for g_index, (prepared, charges) in enumerate(pipeline.run(groups, prepare)):
                 # Replay prefetched I/O charges and the deferred sort
                 # charge here, where serial execution would record them.
+                # This is also the trace emission site for prepared work:
+                # group_load is stamped after the commit, so traces are
+                # bit-identical at any pipeline depth.
                 self.fs.device.commit(charges)
                 meter.charge_sort(prepared.sg.sort_items)
                 sg = prepared.sg
                 verts = prepared.verts
                 report = prepared.report
+                if tracer.enabled:
+                    io = charge_rollup(charges)
+                    tracer.emit(
+                        "group_load",
+                        group=g_index,
+                        intervals=len(prepared.interval_ids),
+                        records=int(sg.sort_items),
+                        pages_by_class=io["read_pages_by_class"],
+                        io_time_us=io["io_time_us"],
+                    )
+                    tracer.emit(
+                        "group_sort",
+                        group=g_index,
+                        records=int(sg.sort_items),
+                        unique_dests=int(sg.unique_dests.shape[0]),
+                    )
                 if verts.size == 0:
                     continue
                 for useful in report.colidx_useful:
@@ -263,22 +348,30 @@ class MultiLogVC:
                 accessed_pages += report.data_pages
                 hypo_ineff += report.hypo_inefficient
                 avoided_ineff += report.avoided_inefficient
+                # Pages the edge log saved: the hypothetical no-edge-log
+                # colidx page set minus the adjacency pages actually read.
+                avoided_pages += max(0, report.hypo_pages - report.data_pages)
+                g_processed = 0
+                g_updates = 0
+                g_edges = 0
+                elog_before = edgelog.vertices_logged if edgelog is not None else 0
 
                 # Vectorised fast path: the program handles the whole
                 # group in bulk (see repro.core.batch).
+                handled = False
                 if prog.supports_batch and mutations is None:
                     bctx, es_plan = self._build_batch(
                         sg, verts, prog, mlog_next, rng, step, values
                     )
                     if prog.process_batch(bctx):
+                        handled = True
                         stay = verts[bctx._stay_mask]
                         if stay.size:
                             tracker.next_self[stay] = True
                         degs = bctx.degrees
-                        processed += verts.shape[0]
-                        updates_processed += bctx.total_updates
+                        g_processed = verts.shape[0]
+                        g_updates = bctx.total_updates
                         g_edges = int(degs.sum())
-                        edges_scanned += g_edges
                         meter.charge_vertices(verts.shape[0])
                         meter.charge_updates(int(sg.batch.n))
                         meter.charge_edges(g_edges)
@@ -300,55 +393,72 @@ class MultiLogVC:
                             dirty_verts = verts[bctx._es_dirty]
                             if dirty_verts.size:
                                 loader.writeback_edge_state(dirty_verts)
-                        continue
 
-                upos = np.searchsorted(sg.unique_dests, verts)
-                k_updates = sg.unique_dests.shape[0]
-                group_edges = 0
-                dirty: List[int] = []
-                for idx in range(verts.shape[0]):
-                    v = int(verts[idx])
-                    p = int(upos[idx])
-                    if p < k_updates and sg.unique_dests[p] == v:
-                        usrc, udata = sg.updates_for(p)
-                    else:
-                        usrc, udata = _EMPTY_SRC, _EMPTY_DATA
-                    nb = self.storage.neighbors(v)
-                    wt = self.storage.weights(v) if (prog.needs_weights or prog.uses_edge_state) else None
-                    if mutations is not None:
-                        nb, wt = mutations.overlay_adjacency(v, nb, wt)
-                    ctx = VertexContext(
-                        vid=v,
-                        superstep=step,
-                        values=values,
-                        updates_src=usrc,
-                        updates_data=udata,
-                        out_neighbors=nb,
-                        out_weights=wt if prog.needs_weights else None,
-                        edge_state=wt if prog.uses_edge_state else None,
-                        send=mlog_next.send,
-                        send_many=mlog_next.send_many,
-                        rng=rng,
-                        mutate=mutate_cb,
+                if not handled:
+                    upos = np.searchsorted(sg.unique_dests, verts)
+                    k_updates = sg.unique_dests.shape[0]
+                    dirty: List[int] = []
+                    for idx in range(verts.shape[0]):
+                        v = int(verts[idx])
+                        p = int(upos[idx])
+                        if p < k_updates and sg.unique_dests[p] == v:
+                            usrc, udata = sg.updates_for(p)
+                        else:
+                            usrc, udata = _EMPTY_SRC, _EMPTY_DATA
+                        nb = self.storage.neighbors(v)
+                        wt = self.storage.weights(v) if (prog.needs_weights or prog.uses_edge_state) else None
+                        if mutations is not None:
+                            nb, wt = mutations.overlay_adjacency(v, nb, wt)
+                        ctx = VertexContext(
+                            vid=v,
+                            superstep=step,
+                            values=values,
+                            updates_src=usrc,
+                            updates_data=udata,
+                            out_neighbors=nb,
+                            out_weights=wt if prog.needs_weights else None,
+                            edge_state=wt if prog.uses_edge_state else None,
+                            send=mlog_next.send,
+                            send_many=mlog_next.send_many,
+                            rng=rng,
+                            mutate=mutate_cb,
+                        )
+                        prog.process(ctx)
+                        if not ctx.deactivated:
+                            tracker.note_self_active(v)
+                        if ctx.edge_state_dirty:
+                            dirty.append(v)
+                        g_processed += 1
+                        g_updates += usrc.shape[0]
+                        g_edges += nb.shape[0]
+                        if edgelog is not None:
+                            predicted = tracker.predict_active_next(v)
+                            inefficient = bool(report.vertex_page_inefficient[idx])
+                            edgelog.consider(v, nb.shape[0], predicted, inefficient)
+                    meter.charge_vertices(verts.shape[0])
+                    meter.charge_updates(int(sg.batch.n))
+                    meter.charge_edges(g_edges)
+                    if dirty:
+                        loader.writeback_edge_state(np.asarray(dirty))
+
+                processed += g_processed
+                updates_processed += g_updates
+                edges_scanned += g_edges
+                if tracer.enabled:
+                    tracer.emit(
+                        "group_process",
+                        group=g_index,
+                        vertices=int(g_processed),
+                        updates=int(g_updates),
+                        edges=int(g_edges),
+                        batched=handled,
                     )
-                    prog.process(ctx)
-                    if not ctx.deactivated:
-                        tracker.note_self_active(v)
-                    if ctx.edge_state_dirty:
-                        dirty.append(v)
-                    processed += 1
-                    updates_processed += usrc.shape[0]
-                    group_edges += nb.shape[0]
                     if edgelog is not None:
-                        predicted = tracker.predict_active_next(v)
-                        inefficient = bool(report.vertex_page_inefficient[idx])
-                        edgelog.consider(v, nb.shape[0], predicted, inefficient)
-                edges_scanned += group_edges
-                meter.charge_vertices(verts.shape[0])
-                meter.charge_updates(int(sg.batch.n))
-                meter.charge_edges(group_edges)
-                if dirty:
-                    loader.writeback_edge_state(np.asarray(dirty))
+                        tracer.emit(
+                            "edgelog_decisions",
+                            group=g_index,
+                            logged=int(edgelog.vertices_logged - elog_before),
+                        )
 
             if mutations is not None:
                 mutations.merge_ready()
@@ -358,28 +468,40 @@ class MultiLogVC:
             prog.on_superstep_end(step, values, rng)
 
             delta = self.fs.stats.snapshot() - stats_before
-            records.append(
-                SuperstepRecord(
-                    index=step,
-                    active_vertices=processed,
-                    updates_processed=updates_processed,
-                    messages_sent=mlog_next.appended - sent_before,
-                    edges_scanned=edges_scanned,
-                    storage_time_us=delta.total_time_us,
-                    compute_time_us=meter.time_us - compute_before,
-                    pages_read=delta.pages_read,
-                    pages_written=delta.pages_written,
-                    pages_read_by_class={k: c.pages for k, c in delta.reads.items()},
-                    inefficient_pages=ineff_pages,
-                    accessed_data_pages=accessed_pages,
-                    edgelog_vertices_logged=elog_logged,
-                    inefficient_pages_predicted=avoided_ineff,
-                )
+            rec = SuperstepRecord(
+                index=step,
+                active_vertices=processed,
+                updates_processed=updates_processed,
+                messages_sent=mlog_next.appended - sent_before,
+                edges_scanned=edges_scanned,
+                storage_time_us=delta.total_time_us,
+                compute_time_us=meter.time_us - compute_before,
+                pages_read=delta.pages_read,
+                pages_written=delta.pages_written,
+                pages_read_by_class={k: c.pages for k, c in delta.reads.items()},
+                inefficient_pages=ineff_pages,
+                accessed_data_pages=accessed_pages,
+                edgelog_vertices_logged=elog_logged,
+                edgelog_pages_avoided=avoided_pages,
+                inefficient_pages_predicted=avoided_ineff,
             )
+            records.append(rec)
+            if tracer.enabled:
+                # Mirrors SuperstepRecord.to_dict() so trace roll-ups
+                # reconcile exactly with RunResult.supersteps.
+                tracer.emit("superstep_end", **rec.to_dict())
+            if self.progress is not None:
+                self.progress(rec)
             tracker.advance()
             mlog_cur, mlog_next = mlog_next, mlog_cur
             mlog_cur.tracker = None
             mlog_next.tracker = tracker
+            if tracer.enabled:
+                tracer.emit(
+                    "mlog_rotate",
+                    current=mlog_cur.name,
+                    pending_messages=int(mlog_cur.total_messages),
+                )
             if prog.is_converged(values):
                 raise _Converged
 

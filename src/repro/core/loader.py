@@ -25,6 +25,7 @@ import numpy as np
 
 from ..config import SimConfig
 from ..graph.storage import GraphOnSSD
+from ..obs.metrics import NULL_METRICS, MetricsRegistry
 from .edgelog import EdgeLogOptimizer
 
 
@@ -57,11 +58,30 @@ class LoadReport:
 class GraphLoaderUnit:
     """Active-vertex page loader over an interval-partitioned CSR."""
 
-    def __init__(self, storage: GraphOnSSD, config: SimConfig) -> None:
+    def __init__(
+        self,
+        storage: GraphOnSSD,
+        config: SimConfig,
+        metrics: MetricsRegistry = NULL_METRICS,
+    ) -> None:
         self.storage = storage
         self.config = config
         self._page_size = config.ssd.page_size
         self._threshold = config.page_efficiency_threshold
+        #: cumulative load tallies; updated once per load_active call
+        #: (the prefetch worker is the only writer, so no races)
+        self.loads = 0
+        self.rowptr_pages = 0
+        self.colidx_pages = 0
+        self.val_pages = 0
+        self.edgelog_pages = 0
+        self.edgelog_hits = 0
+        metrics.gauge("loader.loads", lambda: self.loads)
+        metrics.gauge("loader.rowptr_pages", lambda: self.rowptr_pages)
+        metrics.gauge("loader.colidx_pages", lambda: self.colidx_pages)
+        metrics.gauge("loader.val_pages", lambda: self.val_pages)
+        metrics.gauge("loader.edgelog_pages", lambda: self.edgelog_pages)
+        metrics.gauge("loader.edgelog_hits", lambda: self.edgelog_hits)
 
     def load_active(
         self,
@@ -148,6 +168,12 @@ class GraphLoaderUnit:
                 report.io_time_us += t
                 report.edgelog_pages += n_pages
         report.vertex_page_inefficient = ineff_flags
+        self.loads += 1
+        self.rowptr_pages += report.rowptr_pages
+        self.colidx_pages += report.colidx_pages
+        self.val_pages += report.val_pages
+        self.edgelog_pages += report.edgelog_pages
+        self.edgelog_hits += report.edgelog_hits
         return report
 
     def writeback_edge_state(self, dirty: np.ndarray) -> float:

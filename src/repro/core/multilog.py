@@ -30,6 +30,8 @@ from ..errors import ProgramError
 from ..graph.partition import VertexIntervals
 from ..mem.budget import MemoryBudget
 from ..mem.pagebuffer import RecordPageBuffer
+from ..obs.metrics import NULL_METRICS, MetricsRegistry
+from ..obs.tracer import NULL_TRACER, Tracer
 from ..ssd.file import PageFile
 from ..ssd.filesystem import SimFS
 from .active import ActiveTracker
@@ -49,6 +51,8 @@ class MultiLogUnit:
         budget: MemoryBudget,
         name: str = "mlog",
         tracker: Optional[ActiveTracker] = None,
+        tracer: Tracer = NULL_TRACER,
+        metrics: MetricsRegistry = NULL_METRICS,
     ) -> None:
         self.fs = fs
         self.intervals = intervals
@@ -56,6 +60,10 @@ class MultiLogUnit:
         self.budget = budget
         self.name = name
         self.tracker = tracker
+        self.tracer = tracer
+        #: cumulative eviction tallies (observability gauges read these)
+        self.flushes = 0
+        self.flushed_pages = 0
         k = intervals.n_intervals
         rpp = config.updates_per_page
         self._buffers: List[RecordPageBuffer] = [
@@ -77,6 +85,12 @@ class MultiLogUnit:
         mem = config.memory
         self._low_free = int(np.floor(mem.evict_low_free_fraction * self._capacity))
         self._high_free = int(np.floor(mem.evict_high_free_fraction * self._capacity))
+        # Gauges over tallies the unit keeps anyway: zero hot-path cost.
+        metrics.gauge(f"multilog.{name}.appended", lambda: self.appended)
+        metrics.gauge(f"multilog.{name}.pages_buffered", lambda: self._pages_used)
+        metrics.gauge(f"multilog.{name}.flushes", lambda: self.flushes)
+        metrics.gauge(f"multilog.{name}.flushed_pages", lambda: self.flushed_pages)
+        metrics.gauge(f"multilog.{name}.io_time_us", lambda: self.io_time_us)
 
     # -- geometry / introspection -------------------------------------------
 
@@ -244,7 +258,17 @@ class MultiLogUnit:
                 self._pages_used -= len(pages)
         if batch_channels:
             channels = np.concatenate(batch_channels)
-            self.io_time_us += self.fs.device.write_batch(channels, KLASS_MLOG)
+            t = self.fs.device.write_batch(channels, KLASS_MLOG)
+            self.io_time_us += t
+            self.flushes += 1
+            self.flushed_pages += int(channels.shape[0])
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    "mlog_flush",
+                    unit=self.name,
+                    pages=int(channels.shape[0]),
+                    time_us=t,
+                )
 
     # -- consumption (sort-and-group read path) ----------------------------------------
 

@@ -67,6 +67,31 @@ class PreparedGroup:
 PrepareFn = Callable[[List[int]], PreparedGroup]
 
 
+def charge_rollup(charges: List[ChargeOp]) -> dict:
+    """Summarise a deferred-charge queue by direction and storage class.
+
+    The engine calls this at the replay point (right after
+    :meth:`~repro.ssd.device.SimulatedSSD.commit`) to emit one
+    ``group_load`` trace event describing exactly the I/O the group's
+    preparation performed -- per-class page counts and total simulated
+    time.  Because the queue is identical whether the group was
+    prepared inline (depth 0) or ahead on the worker thread, the
+    resulting trace is bit-identical across pipeline depths.
+    """
+    read_pages: dict = {}
+    write_pages: dict = {}
+    time_us = 0.0
+    for is_read, klass, pages, _nbytes, t in charges:
+        table = read_pages if is_read else write_pages
+        table[klass] = table.get(klass, 0) + pages
+        time_us += t
+    return {
+        "read_pages_by_class": read_pages,
+        "write_pages_by_class": write_pages,
+        "io_time_us": time_us,
+    }
+
+
 class GroupPipeline:
     """Depth-bounded, order-preserving group prefetcher.
 

@@ -13,14 +13,18 @@ speedups) and activity traces (Fig. 2).
 
 from __future__ import annotations
 
+import dataclasses
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import TYPE_CHECKING, Any, Dict, List, Optional
 
 import numpy as np
 
 from ..config import ComputeConfig
 from ..ssd.stats import SSDStats
+
+if TYPE_CHECKING:  # annotation-only; obs does not import core
+    from ..obs.tracer import TraceEvent
 
 
 class ComputeMeter:
@@ -74,6 +78,12 @@ class SuperstepRecord:
     def total_time_us(self) -> float:
         return self.storage_time_us + self.compute_time_us
 
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON/CSV-safe dict of every measured field plus the total."""
+        d = dataclasses.asdict(self)
+        d["total_time_us"] = self.total_time_us
+        return d
+
 
 @dataclass
 class RunResult:
@@ -86,6 +96,10 @@ class RunResult:
     converged: bool
     stats: SSDStats
     compute_time_us: float
+    #: typed event stream from the run's tracer (None when untraced)
+    trace: Optional[List["TraceEvent"]] = None
+    #: counters/gauges snapshot from the run's MetricsRegistry
+    metrics: Optional[Dict[str, Any]] = None
 
     @property
     def n_supersteps(self) -> int:
@@ -127,6 +141,33 @@ class RunResult:
     def time_trace(self) -> np.ndarray:
         """Total simulated time per superstep (Fig. 7)."""
         return np.asarray([r.total_time_us for r in self.supersteps], dtype=np.float64)
+
+    def to_dict(self, include_values: bool = True, include_trace: bool = False) -> Dict[str, Any]:
+        """Serialise the run for JSON export.
+
+        ``values`` can be large; pass ``include_values=False`` for a
+        metadata-only record.  The trace is omitted unless requested
+        (it has its own JSONL format, see :mod:`repro.obs.writer`).
+        """
+        d: Dict[str, Any] = {
+            "engine": self.engine,
+            "program": self.program,
+            "converged": self.converged,
+            "n_supersteps": self.n_supersteps,
+            "compute_time_us": self.compute_time_us,
+            "storage_time_us": self.storage_time_us,
+            "total_time_us": self.total_time_us,
+            "pages_read": self.pages_read,
+            "pages_written": self.pages_written,
+            "supersteps": [r.to_dict() for r in self.supersteps],
+            "stats": self.stats.to_dict(),
+            "metrics": self.metrics,
+        }
+        if include_values:
+            d["values"] = self.values.tolist()
+        if include_trace and self.trace is not None:
+            d["trace"] = [ev.to_dict() for ev in self.trace]
+        return d
 
     def summary(self) -> str:
         return (

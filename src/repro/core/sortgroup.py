@@ -18,6 +18,7 @@ import numpy as np
 
 from ..config import SimConfig
 from ..mem.budget import MemoryBudget
+from ..obs.metrics import NULL_METRICS, MetricsRegistry
 from .combine import CombineSpec, combine_sorted
 from .multilog import MultiLogUnit
 from .results import ComputeMeter
@@ -50,10 +51,25 @@ class SortedGroup:
 class SortGroupUnit:
     """Plans interval fusing and performs the in-memory sort/group."""
 
-    def __init__(self, config: SimConfig, budget: MemoryBudget, meter: ComputeMeter) -> None:
+    def __init__(
+        self,
+        config: SimConfig,
+        budget: MemoryBudget,
+        meter: ComputeMeter,
+        metrics: MetricsRegistry = NULL_METRICS,
+    ) -> None:
         self.config = config
         self.budget = budget
         self.meter = meter
+        #: cumulative tallies read by observability gauges
+        self.plans = 0
+        self.groups_planned = 0
+        self.groups_loaded = 0
+        self.records_sorted = 0
+        metrics.gauge("sortgroup.plans", lambda: self.plans)
+        metrics.gauge("sortgroup.groups_planned", lambda: self.groups_planned)
+        metrics.gauge("sortgroup.groups_loaded", lambda: self.groups_loaded)
+        metrics.gauge("sortgroup.records_sorted", lambda: self.records_sorted)
 
     # -- planning -------------------------------------------------------------
 
@@ -108,6 +124,8 @@ class SortGroupUnit:
             cur_bytes += int(sizes[i])
         if cur:
             groups.append(cur)
+        self.plans += 1
+        self.groups_planned += len(groups)
         return groups
 
     # -- load + sort + group ---------------------------------------------------
@@ -141,6 +159,8 @@ class SortGroupUnit:
             batch, uniq, offsets = combine_sorted(batch, uniq, offsets, combine)
         lo = multilog.intervals.span(interval_ids[0])[0]
         hi = multilog.intervals.span(interval_ids[-1])[1]
+        self.groups_loaded += 1
+        self.records_sorted += sort_items
         return SortedGroup(
             interval_ids=list(interval_ids),
             vertex_lo=lo,

@@ -24,6 +24,7 @@ from ..baselines import GraFBoost, GraphChi
 from ..graph.csr import CSRGraph
 from ..graph.datasets import dataset_by_name
 from ..metrics.report import render_table
+from ..options import EngineOptions
 
 
 @dataclass
@@ -100,7 +101,11 @@ def run_mlvc(
     seed: int = 0,
     **kwargs,
 ) -> RunResult:
-    return MultiLogVC(graph, program, config, **kwargs).run(steps, seed=seed)
+    # Engine knobs arrive as plain kwargs from the experiment modules;
+    # fold them into EngineOptions here so the deprecated constructor
+    # path (and its DeprecationWarning) is never exercised.
+    options = EngineOptions(**kwargs) if kwargs else None
+    return MultiLogVC(graph, program, config, options=options).run(steps, seed=seed)
 
 
 def run_graphchi(
@@ -121,7 +126,8 @@ def run_grafboost(
     seed: int = 0,
     adapted: bool = False,
 ) -> RunResult:
-    return GraFBoost(graph, program, config, adapted=adapted).run(steps, seed=seed)
+    options = EngineOptions(adapted=adapted)
+    return GraFBoost(graph, program, config, options=options).run(steps, seed=seed)
 
 
 def duel(

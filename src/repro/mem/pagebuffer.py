@@ -100,6 +100,20 @@ class RecordPageBuffer:
                 col.extend(src[pos:].tolist())
         return sealed
 
+    # -- observability ------------------------------------------------------
+
+    def register_metrics(self, registry, prefix: str) -> None:
+        """Register occupancy gauges under ``<prefix>.*``.
+
+        Gauges are sampled only at snapshot time, so a registered
+        buffer costs nothing on the append hot path.  ``registry`` is a
+        :class:`repro.obs.MetricsRegistry` (duck-typed to avoid a
+        package dependency from ``mem`` to ``obs``).
+        """
+        registry.gauge(f"{prefix}.pages_used", lambda: self.pages_used)
+        registry.gauge(f"{prefix}.sealed_pages", lambda: self.sealed_pages)
+        registry.gauge(f"{prefix}.records", lambda: self.n_records)
+
     # -- geometry -----------------------------------------------------------
 
     @property

@@ -20,6 +20,7 @@ from pathlib import Path
 from typing import TYPE_CHECKING, Iterable, List, Union
 
 if TYPE_CHECKING:  # avoid a circular import; results are duck-typed
+    from ..core.results import RunResult
     from ..experiments.common import ExperimentResult
 
 PathLike = Union[str, Path]
@@ -75,3 +76,34 @@ def save_all(results: Iterable["ExperimentResult"], directory: PathLike) -> List
         written.append(save_csv(r, directory / f"{r.experiment}.csv"))
         written.append(save_json(r, directory / f"{r.experiment}.json"))
     return written
+
+
+# -- engine-run exports (RunResult / SuperstepRecord) -------------------------
+
+
+def save_run_json(
+    result: "RunResult",
+    path: PathLike,
+    include_values: bool = False,
+    include_trace: bool = False,
+) -> Path:
+    """Serialise one engine run via :meth:`RunResult.to_dict`."""
+    path = Path(path)
+    payload = result.to_dict(include_values=include_values, include_trace=include_trace)
+    path.write_text(json.dumps(payload, indent=2, default=_coerce))
+    return path
+
+
+def save_run_csv(result: "RunResult", path: PathLike) -> Path:
+    """Write one engine run's per-superstep records as CSV rows."""
+    path = Path(path)
+    rows = [r.to_dict() for r in result.supersteps]
+    keys: List[str] = list(rows[0].keys()) if rows else []
+    with path.open("w", newline="") as f:
+        writer = csv.writer(f)
+        writer.writerow(keys)
+        for row in rows:
+            writer.writerow(
+                [json.dumps(row[k]) if isinstance(row[k], dict) else _coerce(row[k]) for k in keys]
+            )
+    return path

@@ -1,0 +1,42 @@
+"""Ambient tracer: a scoped default picked up by engine constructors.
+
+The CLI (and any caller driving code that constructs engines
+internally, e.g. the experiment modules) cannot thread a ``tracer=``
+argument through every call site.  Instead it installs an ambient
+tracer for a scope::
+
+    with use_tracer(TraceRecorder()) as tracer:
+        fig5_bfs.run("test")      # every engine inside traces
+    write_jsonl(tracer.events, "fig5.jsonl")
+
+Engine constructors resolve ``tracer if tracer is not None else
+current_tracer()``; outside any scope :func:`current_tracer` returns
+:data:`~repro.obs.tracer.NULL_TRACER`.  The scope is a
+:class:`contextvars.ContextVar`, so concurrent contexts do not leak
+tracers into each other.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from contextvars import ContextVar
+from typing import Iterator
+
+from .tracer import NULL_TRACER, Tracer
+
+_current: ContextVar[Tracer] = ContextVar("repro_tracer", default=NULL_TRACER)
+
+
+def current_tracer() -> Tracer:
+    """The ambient tracer (the null tracer outside any scope)."""
+    return _current.get()
+
+
+@contextmanager
+def use_tracer(tracer: Tracer) -> Iterator[Tracer]:
+    """Install ``tracer`` as the ambient default for the scope."""
+    token = _current.set(tracer)
+    try:
+        yield tracer
+    finally:
+        _current.reset(token)

@@ -1,0 +1,93 @@
+"""Named counters and gauges the engine units register into.
+
+A :class:`MetricsRegistry` holds two kinds of instruments:
+
+* **counters** -- monotonically increasing values the owner bumps with
+  :meth:`Counter.inc` at event sites;
+* **gauges** -- zero-hot-path-cost callables sampled only when a
+  :meth:`MetricsRegistry.snapshot` is taken.  Units register gauges over
+  the cheap internal tallies they already keep (e.g.
+  ``MultiLogUnit.appended``), so enabling metrics adds no per-record
+  work.
+
+:data:`NULL_METRICS` is the null-object registry: units hold it by
+default, ``counter()`` returns a shared no-op counter and ``gauge()``
+discards the callable, so unmetered runs pay nothing.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict
+
+
+class Counter:
+    """One monotonically increasing named value."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value: float = 0
+
+    def inc(self, n: float = 1) -> None:
+        self.value += n
+
+
+class _NullCounter(Counter):
+    __slots__ = ()
+
+    def inc(self, n: float = 1) -> None:
+        pass
+
+
+_NULL_COUNTER = _NullCounter()
+
+
+class MetricsRegistry:
+    """Registry of named counters and gauges for one engine run."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Callable[[], Any]] = {}
+
+    def counter(self, name: str) -> Counter:
+        """Get (or create) the counter registered under ``name``."""
+        c = self._counters.get(name)
+        if c is None:
+            c = self._counters[name] = Counter()
+        return c
+
+    def gauge(self, name: str, fn: Callable[[], Any]) -> None:
+        """Register ``fn`` to be sampled for ``name`` at snapshot time.
+
+        Re-registering a name replaces the callable (units created later
+        in a run shadow earlier ones, e.g. per-superstep buffers).
+        """
+        self._gauges[name] = fn
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Current values of every counter and gauge, by name."""
+        out: Dict[str, Any] = {k: c.value for k, c in self._counters.items()}
+        for k, fn in self._gauges.items():
+            out[k] = fn()
+        return out
+
+    @property
+    def names(self):
+        return sorted(set(self._counters) | set(self._gauges))
+
+
+class NullMetricsRegistry(MetricsRegistry):
+    """Do-nothing registry; the default held by every unit."""
+
+    def counter(self, name: str) -> Counter:
+        return _NULL_COUNTER
+
+    def gauge(self, name: str, fn: Callable[[], Any]) -> None:
+        pass
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {}
+
+
+#: Shared null registry instance.
+NULL_METRICS = NullMetricsRegistry()

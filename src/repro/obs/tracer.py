@@ -1,0 +1,98 @@
+"""Structured tracing for engine runs.
+
+A :class:`Tracer` receives typed *events* from the engines: superstep
+begin/end, group plan/load/sort/process, loader page fetches by storage
+class, edge-log decisions, multi-log flushes, external-sort passes
+(GraFBoost), block streams (GridGraph).  Every event is stamped with
+
+* the **simulated clock** -- storage time from the SSD device plus the
+  engine's compute-meter time at the moment of emission, and
+* the current **superstep index**.
+
+The base class is a null object: ``enabled`` is False and every method
+is a no-op, so engines can keep a tracer reference unconditionally and
+guard only the (cheap) field construction with ``if tracer.enabled``.
+That is what keeps tracing-off runs byte-identical to and as fast as
+untraced runs.
+
+Determinism contract
+--------------------
+Engines emit events **only on the accounting thread**, at the point
+where the corresponding work lands in the serial execution order.  For
+the group-prefetch pipeline that point is the deferred-charge replay
+site in :meth:`repro.core.engine.MultiLogVC._superstep_loop` -- work
+prepared ahead on the worker thread is traced when its I/O charges are
+committed, so traces are bit-identical across pipeline depths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+
+@dataclass
+class TraceEvent:
+    """One emitted trace record."""
+
+    kind: str
+    #: simulated time (us) at emission: SSD storage time + compute time
+    t_us: float
+    #: superstep index the event belongs to (-1 outside any superstep)
+    step: int
+    fields: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"kind": self.kind, "t_us": self.t_us, "step": self.step, **self.fields}
+
+
+class Tracer:
+    """Null-object tracer: zero overhead, nothing recorded."""
+
+    __slots__ = ()
+
+    enabled = False
+
+    def bind_clock(self, clock: Callable[[], float]) -> None:
+        """Set the simulated-time source for subsequent events."""
+
+    def set_step(self, step: int) -> None:
+        """Set the superstep index stamped on subsequent events."""
+
+    def emit(self, kind: str, **fields: Any) -> None:
+        """Record one event (no-op on the null tracer)."""
+
+    @property
+    def events(self) -> List[TraceEvent]:
+        return []
+
+
+#: Shared do-nothing tracer; the default everywhere.
+NULL_TRACER = Tracer()
+
+
+class TraceRecorder(Tracer):
+    """In-memory tracer collecting :class:`TraceEvent` records."""
+
+    __slots__ = ("_events", "_clock", "_step")
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._events: List[TraceEvent] = []
+        self._clock: Optional[Callable[[], float]] = None
+        self._step = -1
+
+    def bind_clock(self, clock: Callable[[], float]) -> None:
+        self._clock = clock
+
+    def set_step(self, step: int) -> None:
+        self._step = step
+
+    def emit(self, kind: str, **fields: Any) -> None:
+        t = self._clock() if self._clock is not None else 0.0
+        self._events.append(TraceEvent(kind, t, self._step, fields))
+
+    @property
+    def events(self) -> List[TraceEvent]:
+        return self._events

@@ -1,0 +1,92 @@
+"""Trace serialisation: JSONL writer/loader and the summary roll-up.
+
+The on-disk format is one JSON object per line with the stable keys
+``kind``, ``t_us``, ``step`` plus the event's own fields -- append-only
+and greppable, so multi-gigabyte traces stream without a JSON parser
+holding the whole file.  ``repro run <exp> --trace out.jsonl`` produces
+one (engines emit ``run_begin`` markers, so several runs can share one
+file).
+
+:func:`trace_summary` rolls a trace up into per-kind counts and the
+per-superstep page/time aggregates that reconcile exactly with
+:class:`~repro.core.results.SuperstepRecord` (each engine emits a
+``superstep_end`` event mirroring the record's fields).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Union
+
+from .tracer import TraceEvent
+
+PathLike = Union[str, "Path"]
+
+
+def _jsonable(value: Any) -> Any:
+    if hasattr(value, "item") and not isinstance(value, (str, bytes)):  # numpy scalar
+        try:
+            return value.item()
+        except (AttributeError, ValueError):
+            pass
+    if hasattr(value, "tolist"):
+        return value.tolist()
+    return value
+
+
+def write_jsonl(events: Iterable[TraceEvent], path: PathLike) -> Path:
+    """Write a trace as one JSON object per line; returns the path."""
+    path = Path(path)
+    with path.open("w") as f:
+        for ev in events:
+            record = {k: _jsonable(v) for k, v in ev.to_dict().items()}
+            f.write(json.dumps(record) + "\n")
+    return path
+
+
+def load_jsonl(path: PathLike) -> List[TraceEvent]:
+    """Parse a JSONL trace back into :class:`TraceEvent` records."""
+    events: List[TraceEvent] = []
+    with Path(path).open() as f:
+        for line in f:
+            line = line.strip()
+            if not line:
+                continue
+            obj = json.loads(line)
+            kind = obj.pop("kind")
+            t_us = obj.pop("t_us")
+            step = obj.pop("step")
+            events.append(TraceEvent(kind, t_us, step, obj))
+    return events
+
+
+def trace_summary(events: Iterable[TraceEvent]) -> Dict[str, Any]:
+    """Roll a trace up into counts and per-superstep aggregates.
+
+    Returns a dict with:
+
+    * ``n_events`` -- total events;
+    * ``by_kind`` -- event count per kind;
+    * ``runs`` -- the ``run_begin`` markers (engine/program per run);
+    * ``supersteps`` -- one dict per ``superstep_end`` event carrying
+      the engine's own per-superstep aggregates (pages read/written,
+      storage/compute time, ...), in emission order.
+    """
+    by_kind: Dict[str, int] = {}
+    runs: List[Dict[str, Any]] = []
+    supersteps: List[Dict[str, Any]] = []
+    n = 0
+    for ev in events:
+        n += 1
+        by_kind[ev.kind] = by_kind.get(ev.kind, 0) + 1
+        if ev.kind == "run_begin":
+            runs.append(dict(ev.fields))
+        elif ev.kind == "superstep_end":
+            supersteps.append({"step": ev.step, "t_us": ev.t_us, **ev.fields})
+    return {
+        "n_events": n,
+        "by_kind": by_kind,
+        "runs": runs,
+        "supersteps": supersteps,
+    }

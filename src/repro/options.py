@@ -1,0 +1,142 @@
+"""Unified engine options for the :func:`repro.run` facade.
+
+The four engines historically diverged in constructor signatures
+(``MultiLogVC(..., mode=, enable_edgelog=, enable_fusing=,
+min_intervals=, intervals=)`` vs ``GraFBoost(..., adapted=,
+merge_fanout=)`` vs bare ``GraphChi`` vs ``GridGraph(...,
+intervals=)``).  :class:`EngineOptions` consolidates every knob into one
+frozen dataclass so any workload runs on any engine through the same
+call::
+
+    repro.run(graph, program, engine="grafboost",
+              options=EngineOptions(adapted=True))
+
+Each engine validates that the non-default options it received actually
+apply to it (asking GraphChi for ``adapted=True`` is an error, not a
+silent no-op).  The old per-engine keyword arguments keep working but
+emit a :class:`DeprecationWarning` and delegate here (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import warnings
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, FrozenSet, Optional
+
+from .errors import EngineError
+
+if TYPE_CHECKING:  # circular-import guard; only for annotations
+    from .graph.partition import VertexIntervals
+
+#: Sentinel distinguishing "not passed" from an explicit value in the
+#: deprecated per-engine keyword arguments.
+_UNSET = object()
+
+
+@dataclass(frozen=True)
+class EngineOptions:
+    """Every engine-tuning knob, consolidated.
+
+    Only the subset relevant to the chosen engine may differ from the
+    defaults; see :data:`RELEVANT_OPTIONS`.
+
+    mode:
+        ``"sync"`` (default) or ``"async"`` computation model
+        (MultiLogVC §V-F).
+    enable_edgelog:
+        Toggle for the §V-C edge-log optimizer (MultiLogVC ablations).
+    enable_fusing:
+        Toggle for §V-A2 interval fusing (MultiLogVC ablations).
+    min_intervals:
+        Force at least this many vertex intervals (MultiLogVC
+        testing/ablation).
+    intervals:
+        Explicit vertex-interval partition overriding the automatic
+        sizing rule (MultiLogVC and GridGraph).
+    adapted:
+        GraFBoost §VIII adaptation: keep all updates, no combine.
+    merge_fanout:
+        Width of GraFBoost's external merge (16-way in ISCA'18).
+    grid_p:
+        GridGraph grid dimension: partition vertices into ``p`` uniform
+        intervals (``p x p`` edge blocks) instead of the edge-volume
+        sizing rule.
+    """
+
+    mode: str = "sync"
+    enable_edgelog: bool = True
+    enable_fusing: bool = True
+    min_intervals: int = 1
+    intervals: Optional["VertexIntervals"] = None
+    adapted: bool = False
+    merge_fanout: int = 16
+    grid_p: Optional[int] = None
+
+    def validate_for(self, engine: str) -> None:
+        """Reject non-default options the named engine does not consume."""
+        relevant = RELEVANT_OPTIONS.get(engine)
+        if relevant is None:
+            raise EngineError(
+                f"unknown engine {engine!r}; choose from {sorted(RELEVANT_OPTIONS)}"
+            )
+        defaults = EngineOptions()
+        stray = [
+            f.name
+            for f in dataclasses.fields(self)
+            if f.name not in relevant
+            and getattr(self, f.name) != getattr(defaults, f.name)
+        ]
+        if stray:
+            raise EngineError(
+                f"option(s) {', '.join(stray)} do not apply to engine {engine!r} "
+                f"(it honours: {', '.join(sorted(relevant)) or 'none'})"
+            )
+        if self.mode not in ("sync", "async"):
+            raise EngineError(f"mode must be 'sync' or 'async', got {self.mode!r}")
+        if self.merge_fanout < 2:
+            raise EngineError("merge_fanout must be >= 2")
+        if self.min_intervals < 1:
+            raise EngineError("min_intervals must be >= 1")
+        if self.grid_p is not None and self.grid_p < 1:
+            raise EngineError("grid_p must be >= 1")
+
+
+#: Which :class:`EngineOptions` fields each engine consumes.
+RELEVANT_OPTIONS: Dict[str, FrozenSet[str]] = {
+    "multilogvc": frozenset(
+        {"mode", "enable_edgelog", "enable_fusing", "min_intervals", "intervals"}
+    ),
+    "graphchi": frozenset(),
+    "grafboost": frozenset({"adapted", "merge_fanout"}),
+    "gridgraph": frozenset({"intervals", "grid_p"}),
+    "xstream": frozenset({"intervals", "grid_p"}),
+}
+
+
+def resolve_options(engine: str, options: Optional[EngineOptions], **legacy) -> EngineOptions:
+    """Merge deprecated per-engine kwargs into an :class:`EngineOptions`.
+
+    ``legacy`` values equal to :data:`_UNSET` were not passed.  Passing
+    any real legacy value emits a :class:`DeprecationWarning`; combining
+    legacy kwargs with an explicit ``options`` object is ambiguous and
+    raises.  The result is validated for ``engine``.
+    """
+    passed = {k: v for k, v in legacy.items() if v is not _UNSET}
+    if passed:
+        if options is not None:
+            raise EngineError(
+                f"pass either options=EngineOptions(...) or the deprecated "
+                f"keyword argument(s) {', '.join(sorted(passed))}, not both"
+            )
+        warnings.warn(
+            f"per-engine keyword argument(s) {', '.join(sorted(passed))} are "
+            f"deprecated; pass options=EngineOptions(...) or use repro.run()",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        options = EngineOptions(**passed)
+    elif options is None:
+        options = EngineOptions()
+    options.validate_for(engine)
+    return options

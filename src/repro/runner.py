@@ -1,0 +1,101 @@
+"""The unified cross-engine entry point: :func:`repro.run`.
+
+One call signature for all engines, replacing four divergent
+constructor protocols::
+
+    import repro
+    from repro import EngineOptions
+    from repro.obs import TraceRecorder
+
+    tracer = TraceRecorder()
+    result = repro.run(graph, program, engine="multilogvc",
+                       options=EngineOptions(mode="async"),
+                       tracer=tracer)
+    result.trace      # the typed event stream (None when untraced)
+    result.metrics    # unit counters/gauges snapshot
+
+The facade owns the observability wiring: it resolves the ambient
+tracer (see :mod:`repro.obs.context`), creates a fresh
+:class:`~repro.obs.MetricsRegistry` per run unless given one, and
+returns the engine's :class:`~repro.core.results.RunResult` with its
+``trace`` and ``metrics`` fields populated.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from .baselines import GraFBoost, GraphChi, GridGraph, XStream
+from .config import DEFAULT_CONFIG, SimConfig
+from .core.api import VertexProgram
+from .core.engine import MultiLogVC
+from .core.results import RunResult, SuperstepRecord
+from .errors import EngineError
+from .graph.csr import CSRGraph
+from .obs import MetricsRegistry, Tracer
+from .options import EngineOptions
+from .ssd.filesystem import SimFS
+
+#: Engine name -> class, the registry behind ``engine="..."``.
+ENGINES = {
+    "multilogvc": MultiLogVC,
+    "graphchi": GraphChi,
+    "grafboost": GraFBoost,
+    "gridgraph": GridGraph,
+    "xstream": XStream,
+}
+
+#: Signature of the per-superstep progress hook.
+ProgressFn = Callable[[SuperstepRecord], None]
+
+
+def run(
+    graph: CSRGraph,
+    program: VertexProgram,
+    engine: str = "multilogvc",
+    *,
+    config: SimConfig = DEFAULT_CONFIG,
+    options: Optional[EngineOptions] = None,
+    tracer: Optional[Tracer] = None,
+    metrics: Optional[MetricsRegistry] = None,
+    progress: Optional[ProgressFn] = None,
+    fs: Optional[SimFS] = None,
+    max_supersteps: int = 15,
+    seed: int = 0,
+) -> RunResult:
+    """Run ``program`` on ``graph`` with the named engine.
+
+    Parameters
+    ----------
+    engine:
+        One of ``"multilogvc"``, ``"graphchi"``, ``"grafboost"``,
+        ``"gridgraph"``, ``"xstream"``.
+    options:
+        Consolidated engine knobs; non-default options the chosen
+        engine does not honour raise :class:`~repro.errors.EngineError`.
+    tracer:
+        A :class:`~repro.obs.Tracer`; defaults to the ambient tracer
+        (the null tracer outside a :func:`~repro.obs.use_tracer` scope).
+    metrics:
+        A :class:`~repro.obs.MetricsRegistry`; a fresh one is created
+        per run when omitted, so ``result.metrics`` is always populated.
+    progress:
+        Called with each completed :class:`SuperstepRecord` -- the hook
+        for long-run progress reporting.
+    """
+    cls = ENGINES.get(engine)
+    if cls is None:
+        raise EngineError(f"unknown engine {engine!r}; choose from {sorted(ENGINES)}")
+    if metrics is None:
+        metrics = MetricsRegistry()
+    inst = cls(
+        graph,
+        program,
+        config,
+        fs=fs,
+        options=options,
+        tracer=tracer,
+        metrics=metrics,
+        progress=progress,
+    )
+    return inst.run(max_supersteps=max_supersteps, seed=seed)

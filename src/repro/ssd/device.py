@@ -75,6 +75,17 @@ class SimulatedSSD:
     def page_size(self) -> int:
         return self._page_size
 
+    @property
+    def now_us(self) -> float:
+        """The simulated storage clock: total recorded I/O time so far.
+
+        This is the SSD half of the trace timestamp (engines add their
+        compute-meter time).  Deferred charges advance it only when
+        committed, which is what keeps trace timestamps bit-identical
+        across prefetch pipeline depths.
+        """
+        return self.stats.total_time_us
+
     # -- timing ----------------------------------------------------------
 
     def _batch_time(self, channel_ids: np.ndarray, latency_us: float) -> float:

@@ -35,6 +35,14 @@ class IOCounter:
     def copy(self) -> "IOCounter":
         return IOCounter(self.batches, self.pages, self.bytes, self.time_us)
 
+    def to_dict(self) -> dict:
+        return {
+            "batches": self.batches,
+            "pages": self.pages,
+            "bytes": self.bytes,
+            "time_us": self.time_us,
+        }
+
     def __sub__(self, other: "IOCounter") -> "IOCounter":
         return IOCounter(
             self.batches - other.batches,
@@ -129,6 +137,18 @@ class SSDStats:
         for k, c in other.writes.items():
             existing = self.writes.setdefault(k, IOCounter())
             existing += c
+
+    def to_dict(self) -> dict:
+        """JSON-safe per-class breakdown plus the aggregate totals."""
+        return {
+            "reads": {k: c.to_dict() for k, c in sorted(self.reads.items())},
+            "writes": {k: c.to_dict() for k, c in sorted(self.writes.items())},
+            "pages_read": self.pages_read,
+            "pages_written": self.pages_written,
+            "bytes_read": self.bytes_read,
+            "bytes_written": self.bytes_written,
+            "total_time_us": self.total_time_us,
+        }
 
     def summary_rows(self) -> list:
         """Rows of (class, dir, batches, pages, MiB, ms) for reporting."""
