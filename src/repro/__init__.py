@@ -40,13 +40,18 @@ from .errors import (
     ConfigError,
     EngineError,
     GraphFormatError,
+    InjectedFaultError,
     ProgramError,
+    RecoveryError,
     ReproError,
+    SimulatedCrashError,
     StorageError,
 )
 from .graph import CSRGraph
 from .options import EngineOptions
-from .runner import ENGINES, run
+from .recovery import CheckpointData, CheckpointManager
+from .runner import ENGINES, resume, run
+from .ssd import ChannelDegradation, FaultPlan, FaultRule, RetryPolicy
 
 __version__ = "1.0.0"
 
@@ -69,12 +74,22 @@ __all__ = [
     "EngineOptions",
     "ENGINES",
     "run",
+    "resume",
     "CSRGraph",
+    "CheckpointData",
+    "CheckpointManager",
+    "FaultPlan",
+    "FaultRule",
+    "RetryPolicy",
+    "ChannelDegradation",
     "ReproError",
     "ConfigError",
     "StorageError",
     "BudgetExceededError",
     "GraphFormatError",
+    "InjectedFaultError",
+    "RecoveryError",
+    "SimulatedCrashError",
     "EngineError",
     "ProgramError",
     "__version__",

@@ -9,6 +9,9 @@ Commands
     Regenerate one experiment and print its paper-style table.
 ``run all``
     Regenerate everything (slow at bench scale).
+``compute <algorithm> [...]``
+    One engine run with checkpointing, crash/resume, and fault
+    injection controls (see DESIGN.md §8).
 ``info``
     Print the active configuration and dataset shapes.
 
@@ -18,6 +21,9 @@ Examples::
     python -m repro run fig5 --scale test
     python -m repro run fig6 --scale bench --datasets cf
     python -m repro run fig5 --scale test --trace /tmp/fig5.jsonl --json /tmp/fig5.json
+    python -m repro compute pagerank --dataset rmat256 --checkpoint-every 2 \
+        --fault crash@40 --checkpoint-out /tmp/pr.ckpt
+    python -m repro compute pagerank --dataset rmat256 --resume-from /tmp/pr.ckpt
     python -m repro info
 
 ``run`` artifacts:
@@ -122,6 +128,144 @@ def cmd_run(args) -> int:
     return 0
 
 
+#: Algorithm names accepted by ``compute``.
+_COMPUTE_ALGORITHMS = ("pagerank", "bfs", "wcc", "sssp", "cdlp", "coloring", "mis")
+
+#: Algorithms that require edge weights (forces ``--weighted``).
+_NEEDS_WEIGHTS = {"sssp"}
+
+
+def _compute_program(name: str, args):
+    from . import algorithms as alg
+
+    table = {
+        "pagerank": lambda: alg.DeltaPageRankProgram(),
+        "bfs": lambda: alg.BFSProgram(source=args.source),
+        "wcc": lambda: alg.WCCProgram(),
+        "sssp": lambda: alg.SSSPProgram(source=args.source),
+        "cdlp": lambda: alg.CommunityDetectionProgram(),
+        "coloring": lambda: alg.GraphColoringProgram(),
+        "mis": lambda: alg.MISProgram(),
+    }
+    return table[name]()
+
+
+def _compute_dataset(name: str, scale: str, weighted: bool):
+    from .graph import datasets as d
+
+    small = {
+        "rmat256": lambda: d.small_rmat(n=256, m=2048, seed=3, weighted=weighted),
+        "rmat512": lambda: d.small_rmat(weighted=weighted),
+        "chain": d.small_chain,
+        "ring": d.small_ring,
+        "grid": d.small_grid,
+        "star": d.small_star,
+        "tiny": d.tiny_paper_graph,
+        "two_components": d.two_components,
+    }
+    if name in small:
+        g = small[name]()
+        if weighted and g.weights is None:
+            raise SystemExit(f"dataset {name!r} has no weighted variant")
+        return g
+    return d.dataset_by_name(name, scale=scale, weighted=weighted)
+
+
+def _parse_fault(spec: str, seed: int):
+    """``KIND@OPS[:KLASS]`` with KIND in crash|torn|error, e.g. ``crash@40:mlog``."""
+    from .ssd import FaultPlan, FaultRule
+
+    head, _, klass = spec.partition(":")
+    kind, at, ops = head.partition("@")
+    if kind not in ("crash", "torn", "error") or not at:
+        raise SystemExit(
+            f"bad --fault spec {spec!r}; expected KIND@OPS[:KLASS], "
+            f"KIND one of crash/torn/error"
+        )
+    try:
+        n_ops = int(ops)
+    except ValueError:
+        raise SystemExit(f"bad --fault spec {spec!r}: OPS must be an integer") from None
+    kl = klass or None
+    if kind == "crash":
+        return FaultPlan.crash_after(n_ops, seed=seed, klass=kl)
+    if kind == "torn":
+        return FaultPlan.torn_write_after(n_ops, seed=seed, klass=kl)
+    return FaultPlan(
+        [FaultRule(op="read", kind="error", after_ops=n_ops, klass=kl, transient=True)],
+        seed=seed,
+    )
+
+
+def cmd_compute(args) -> int:
+    from . import resume as repro_resume
+    from . import run as repro_run
+    from .config import small_test_config
+    from .errors import RecoveryError, SimulatedCrashError
+    from .options import EngineOptions
+    from .recovery import CheckpointData, CheckpointManager
+    from .ssd.filesystem import SimFS
+
+    weighted = args.weighted or args.algorithm in _NEEDS_WEIGHTS
+    graph = _compute_dataset(args.dataset, args.scale, weighted)
+    program = _compute_program(args.algorithm, args)
+    cfg = small_test_config() if args.scale == "test" else DEFAULT_CONFIG
+    options = EngineOptions(
+        checkpoint_every=args.checkpoint_every, checkpoint_mode=args.checkpoint_mode
+    )
+
+    fs = SimFS(cfg)
+    if args.fault:
+        fs.device.install_faults(_parse_fault(args.fault, args.fault_seed))
+
+    tracer = None
+    if args.trace:
+        from .obs import TraceRecorder
+
+        tracer = TraceRecorder()
+
+    def _finish_trace():
+        if tracer is not None:
+            from .obs import write_jsonl
+
+            write_jsonl(tracer.events, args.trace)
+            print(f"[trace: {len(tracer.events)} events written to {args.trace}]")
+
+    def _save_checkpoint():
+        if not args.checkpoint_out:
+            return
+        try:
+            ckpt = CheckpointManager.load_latest(fs)
+        except RecoveryError as exc:
+            print(f"[no checkpoint to save: {exc}]", file=sys.stderr)
+            return
+        ckpt.save(args.checkpoint_out)
+        print(f"[checkpoint {ckpt.ckpt_id} (superstep {ckpt.step}) saved to {args.checkpoint_out}]")
+
+    common = dict(
+        config=cfg,
+        options=options,
+        tracer=tracer,
+        fs=fs,
+        max_supersteps=args.max_supersteps,
+        seed=args.seed,
+    )
+    try:
+        if args.resume_from:
+            result = repro_resume(graph, program, args.resume_from, **common)
+        else:
+            result = repro_run(graph, program, engine="multilogvc", **common)
+    except SimulatedCrashError as exc:
+        print(f"simulated power loss: {exc}", file=sys.stderr)
+        _save_checkpoint()
+        _finish_trace()
+        return 3
+    print(result.summary())
+    _save_checkpoint()
+    _finish_trace()
+    return 0
+
+
 def cmd_info(_args) -> int:
     cfg = DEFAULT_CONFIG
     print("default simulation configuration:")
@@ -160,6 +304,35 @@ def build_parser() -> argparse.ArgumentParser:
     runp.add_argument("--json", default=None, metavar="PATH",
                       help="export the experiment table(s) as JSON")
     runp.set_defaults(func=cmd_run)
+    comp = sub.add_parser(
+        "compute",
+        help="one MultiLogVC run with checkpoint / resume / fault-injection controls",
+    )
+    comp.add_argument("algorithm", choices=_COMPUTE_ALGORITHMS)
+    comp.add_argument("--dataset", default="rmat256",
+                      help="cf, yws, rmat256, rmat512, chain, ring, grid, star, tiny, "
+                           "two_components (default: rmat256)")
+    comp.add_argument("--scale", choices=("test", "bench", "large"), default="test")
+    comp.add_argument("--weighted", action="store_true",
+                      help="use edge weights (implied by sssp)")
+    comp.add_argument("--source", type=int, default=0, help="bfs/sssp source vertex")
+    comp.add_argument("--max-supersteps", type=int, default=15)
+    comp.add_argument("--seed", type=int, default=0)
+    comp.add_argument("--checkpoint-every", type=int, default=0, metavar="N",
+                      help="write a crash-consistent checkpoint every N supersteps")
+    comp.add_argument("--checkpoint-mode", choices=("full", "incremental"), default="full")
+    comp.add_argument("--checkpoint-out", default=None, metavar="PATH",
+                      help="save the newest valid on-SSD checkpoint to a host file "
+                           "(also after a simulated crash)")
+    comp.add_argument("--resume-from", default=None, metavar="PATH",
+                      help="resume from a checkpoint saved with --checkpoint-out")
+    comp.add_argument("--fault", default=None, metavar="SPEC",
+                      help="inject a fault: KIND@OPS[:KLASS], KIND in crash/torn/error "
+                           "(e.g. crash@40, torn@10:mlog, error@5:csr_col)")
+    comp.add_argument("--fault-seed", type=int, default=0)
+    comp.add_argument("--trace", default=None, metavar="PATH",
+                      help="record engine trace events and write them as JSONL")
+    comp.set_defaults(func=cmd_compute)
     sub.add_parser("info", help="show configuration and datasets").set_defaults(func=cmd_info)
     return p
 

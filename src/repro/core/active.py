@@ -104,3 +104,23 @@ class ActiveTracker:
         for h in self._history:
             out |= h
         return out
+
+    # -- checkpoint/restore ---------------------------------------------------
+
+    def export_state(self) -> dict:
+        """Deep-copy all bit vectors (taken at a superstep boundary)."""
+        return {
+            "current": self.current.copy(),
+            "next_from_messages": self.next_from_messages.copy(),
+            "next_self": self.next_self.copy(),
+            "history": [h.copy() for h in self._history],
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Inverse of :meth:`export_state`."""
+        self.current = state["current"].copy()
+        self.next_from_messages = state["next_from_messages"].copy()
+        self.next_self = state["next_self"].copy()
+        self._history.clear()
+        for h in state["history"]:
+            self._history.append(h.copy())

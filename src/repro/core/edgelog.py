@@ -157,3 +157,64 @@ class EdgeLogOptimizer:
     def current_coverage(self) -> int:
         """How many vertices the current generation covers."""
         return int((self._cur_first >= 0).sum())
+
+    # -- checkpoint/restore ---------------------------------------------------
+
+    def export_state(self) -> dict:
+        """Deep-copy taken at a superstep boundary (after the rotate).
+
+        At that point the *next* generation is empty (fresh file, pager
+        reset), so only the current generation's page map and file need
+        to be captured.  Edge-log pages carry no payload (the adjacency
+        bytes are re-derivable from the graph); the file is captured as
+        its page count, useful-byte list and channel offset.
+        """
+
+        def file_state(f: PageFile | None):
+            if f is None:
+                return None
+            return {
+                "name": f.name,
+                "channel_offset": f.channel_offset,
+                "n_pages": f.n_pages,
+                "useful": list(f._useful),
+            }
+
+        return {
+            "gen": self._gen,
+            "cur_first": self._cur_first.copy(),
+            "cur_last": self._cur_last.copy(),
+            "file_cur": file_state(self._file_cur),
+            "file_next": file_state(self._file_next),
+            "considered": self.considered,
+            "total_logged": self.total_logged,
+            "pages_read_total": self.pages_read_total,
+            "io_time_us": self.io_time_us,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Inverse of :meth:`export_state` on a fresh optimizer."""
+
+        def adopt(fstate) -> PageFile | None:
+            if fstate is None:
+                return None
+            f = self.fs.adopt_page_file(
+                fstate["name"], KLASS_EDGELOG, fstate["channel_offset"]
+            )
+            f._payloads = [None] * int(fstate["n_pages"])
+            f._useful = list(fstate["useful"])
+            return f
+
+        self._gen = int(state["gen"])
+        self._cur_first = state["cur_first"].copy()
+        self._cur_last = state["cur_last"].copy()
+        self._file_cur = adopt(state["file_cur"])
+        self._file_next = adopt(state["file_next"])
+        self._next_first = np.full(self.n, -1, dtype=np.int64)
+        self._next_last = np.full(self.n, -1, dtype=np.int64)
+        self._pager.reset()
+        self.vertices_logged = 0
+        self.considered = int(state["considered"])
+        self.total_logged = int(state["total_logged"])
+        self.pages_read_total = int(state["pages_read_total"])
+        self.io_time_us = float(state["io_time_us"])

@@ -27,7 +27,7 @@ from typing import Callable, List, Optional
 import numpy as np
 
 from ..config import DEFAULT_CONFIG, SimConfig
-from ..errors import ProgramError
+from ..errors import EngineError, ProgramError, RecoveryError
 from ..graph.csr import CSRGraph
 from ..graph.partition import partition_by_update_volume
 from ..graph.storage import GraphOnSSD
@@ -36,6 +36,7 @@ from ..obs.context import current_tracer
 from ..obs.metrics import NULL_METRICS, MetricsRegistry
 from ..obs.tracer import Tracer
 from ..options import _UNSET, EngineOptions, resolve_options
+from ..recovery.checkpoint import CheckpointData, CheckpointManager
 from ..ssd.filesystem import SimFS
 from .active import ActiveTracker
 from .api import VertexContext, VertexProgram
@@ -148,12 +149,26 @@ class MultiLogVC:
 
     # ------------------------------------------------------------------
 
-    def run(self, max_supersteps: int = 15, seed: int = 0) -> RunResult:
+    def run(
+        self,
+        max_supersteps: int = 15,
+        seed: int = 0,
+        *,
+        resume_from: Optional[CheckpointData] = None,
+    ) -> RunResult:
         """Execute up to ``max_supersteps`` supersteps; returns the result.
 
         ``converged`` in the result is True when the run stopped because
         no vertex was active and no updates were pending (or the program
         reported convergence), False when the superstep cap was hit.
+
+        With ``resume_from`` (a :class:`~repro.recovery.CheckpointData`),
+        the run restores the checkpointed superstep cut -- vertex values,
+        active sets, multi-log contents, edge-log metadata, RNG state,
+        device stats (clock rewind) -- and continues from the following
+        superstep.  The result is then equivalent to an uninterrupted
+        run: same final values, same full superstep-record list, same
+        stats, bit-identical post-cut trace (see DESIGN.md §8).
         """
         cfg = self.config
         prog = self.program
@@ -163,6 +178,9 @@ class MultiLogVC:
         tracer = self.tracer
         reg = self.metrics_registry if self.metrics_registry is not None else NULL_METRICS
         trace_start = len(tracer.events)
+        # Fault events (injected errors, retries, degradation) are
+        # emitted by the device itself; give it this run's tracer.
+        self.fs.device.tracer = tracer
         if tracer.enabled:
             # Simulated clock: committed storage time + compute time.
             # Deferred (prefetched) charges only advance it at the replay
@@ -195,17 +213,33 @@ class MultiLogVC:
             else None
         )
         mutations = MutationBuffer(self.storage, cfg) if prog.mutates_structure else None
+        ckpt_mgr = None
+        if self.options.checkpoint_every > 0 or resume_from is not None:
+            if prog.mutates_structure:
+                raise EngineError(
+                    "checkpointing does not support structure-mutating programs: "
+                    "pending mutation buffers are not part of the superstep cut"
+                )
+            ckpt_mgr = CheckpointManager(self.fs, mode=self.options.checkpoint_mode)
         stats_start = self.fs.stats.snapshot()
 
-        init = prog.initial(self.graph, rng)
-        values = np.array(init.values, dtype=np.float64, copy=True)
-        if values.shape[0] != n:
-            raise ProgramError("initial values must have one entry per vertex")
-        active0 = np.asarray(init.active, dtype=np.int64)
-        if init.messages is not None and init.messages.n:
-            mlog_cur.ingest(init.messages)
-            active0 = np.union1d(active0, init.messages.dest.astype(np.int64))
-        tracker.seed(active0)
+        records: List[SuperstepRecord] = []
+        start_step = 0
+        if resume_from is None:
+            init = prog.initial(self.graph, rng)
+            values = np.array(init.values, dtype=np.float64, copy=True)
+            if values.shape[0] != n:
+                raise ProgramError("initial values must have one entry per vertex")
+            active0 = np.asarray(init.active, dtype=np.int64)
+            if init.messages is not None and init.messages.n:
+                mlog_cur.ingest(init.messages)
+                active0 = np.union1d(active0, init.messages.dest.astype(np.int64))
+            tracker.seed(active0)
+        else:
+            values, records, start_step, mlog_cur, mlog_next = self._resume(
+                resume_from, tracker, mlog_cur, mlog_next, edgelog,
+                meter, rng, ckpt_mgr, tracer,
+            )
 
         mutate_cb = None
         if mutations is not None:
@@ -218,18 +252,22 @@ class MultiLogVC:
         # Group prefetch (§V-A3 overlap): asynchronous same-superstep
         # update injection and structural mutation both depend on the
         # processing of earlier groups, so they force serial preparation.
+        # An armed fault plan also forces serial mode, so injected
+        # faults land at the same point in the operation order at any
+        # configured depth (traces/stats are depth-invariant already).
         depth = cfg.pipeline_depth
         if self.mode != "sync" or mutations is not None:
             depth = 0
+        if self.fs.device.fault_plan is not None:
+            depth = 0
         pipeline = GroupPipeline(self.fs.device, depth)
 
-        records: List[SuperstepRecord] = []
         converged = False
         try:
             self._superstep_loop(
                 max_supersteps, records, pipeline, meter, tracker,
                 mlog_cur, mlog_next, sortgroup, loader, edgelog, mutations,
-                mutate_cb, values, prog, cfg, rng,
+                mutate_cb, values, prog, cfg, rng, start_step, ckpt_mgr,
             )
         except _Converged:
             converged = True
@@ -253,14 +291,72 @@ class MultiLogVC:
             metrics=reg.snapshot() if self.metrics_registry is not None else None,
         )
 
+    def _resume(
+        self, ckpt, tracker, mlog_a, mlog_b, edgelog, meter, rng, ckpt_mgr, tracer,
+    ):
+        """Restore a checkpointed superstep cut onto this engine's units.
+
+        The device clock is rewound to the cut (the checkpoint's stats
+        snapshot already includes the checkpoint's own write cost), the
+        channel-offset allocator is restored, and log files are adopted
+        at their recorded offsets -- so every post-resume charge lands
+        at the same simulated time, on the same channels, as in an
+        uninterrupted run.  Recovery's own read I/O was charged to the
+        *crashed* device at load time and is only reported here in the
+        ``run_resume`` event.
+        """
+        ckpt.validate_against(self)
+        units = {mlog_a.name: mlog_a, mlog_b.name: mlog_b}
+        if set(units) != set(ckpt.mlogs) or ckpt.mlog_current not in units:
+            raise RecoveryError(
+                f"checkpoint multi-log units {sorted(ckpt.mlogs)} do not match "
+                f"engine units {sorted(units)}"
+            )
+        for name, unit in units.items():
+            unit.restore_state(ckpt.mlogs[name])
+        mlog_cur = units[ckpt.mlog_current]
+        (mlog_next,) = [u for u in units.values() if u is not mlog_cur]
+        mlog_cur.tracker = None
+        mlog_next.tracker = tracker
+        tracker.restore_state(ckpt.tracker)
+        if edgelog is not None:
+            edgelog.restore_state(ckpt.edgelog)
+        if ckpt.edge_state is not None:
+            for i, arr in enumerate(ckpt.edge_state):
+                files = self.storage.interval_files(i)
+                if files.values is None or files.values.array.shape != arr.shape:
+                    raise RecoveryError(f"edge-state shape mismatch in interval {i}")
+                files.values.array[:] = arr
+        values = np.asarray(ckpt.values, dtype=np.float64).copy()
+        self.fs.next_channel_offset = ckpt.fs_next_offset
+        self.fs.device.stats = ckpt.stats.snapshot()
+        meter.time_us = float(ckpt.meter_time_us)
+        rng.bit_generator.state = ckpt.rng_state
+        records = [
+            SuperstepRecord(**{k: v for k, v in d.items() if k != "total_time_us"})
+            for d in ckpt.records
+        ]
+        ckpt_mgr.resume_at(ckpt)
+        if tracer.enabled:
+            tracer.emit(
+                "run_resume",
+                checkpoint_id=int(ckpt.ckpt_id),
+                checkpoint_step=int(ckpt.step),
+                start_step=int(ckpt.step) + 1,
+                checkpoint_mode=ckpt.checkpoint_mode,
+                recovery_read_pages=int(ckpt.recovery_read_pages),
+                recovery_read_time_us=float(ckpt.recovery_read_time_us),
+            )
+        return values, records, ckpt.step + 1, mlog_cur, mlog_next
+
     def _superstep_loop(
         self, max_supersteps, records, pipeline, meter, tracker,
         mlog_cur, mlog_next, sortgroup, loader, edgelog, mutations,
-        mutate_cb, values, prog, cfg, rng,
+        mutate_cb, values, prog, cfg, rng, start_step=0, ckpt_mgr=None,
     ) -> None:
         """Run supersteps until convergence (raises :class:`_Converged`)."""
         tracer = self.tracer
-        for step in range(max_supersteps):
+        for step in range(start_step, max_supersteps):
             if tracker.n_current == 0 and mlog_cur.total_messages == 0:
                 raise _Converged
             stats_before = self.fs.stats.snapshot()
@@ -502,6 +598,29 @@ class MultiLogVC:
                     current=mlog_cur.name,
                     pending_messages=int(mlog_cur.total_messages),
                 )
+            # Checkpoint at the superstep cut: tracker advanced, logs
+            # rotated, records appended -- everything a resumed run
+            # needs is settled.  Its write cost lands between this
+            # superstep's stats window and the next, so per-superstep
+            # records are checkpoint-invariant.
+            if (
+                ckpt_mgr is not None
+                and self.options.checkpoint_every > 0
+                and (step + 1) % self.options.checkpoint_every == 0
+            ):
+                info = ckpt_mgr.write(
+                    engine=self, step=step, values=values, tracker=tracker,
+                    mlog_cur=mlog_cur, mlog_next=mlog_next, edgelog=edgelog,
+                    rng=rng, records=records, meter=meter,
+                )
+                if tracer.enabled:
+                    tracer.emit(
+                        "checkpoint_write",
+                        ckpt_id=info.ckpt_id,
+                        incremental=info.incremental,
+                        payload_pages=info.payload_pages,
+                        time_us=info.time_us,
+                    )
             if prog.is_converged(values):
                 raise _Converged
 

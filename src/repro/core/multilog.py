@@ -306,3 +306,63 @@ class MultiLogUnit:
             if f is not None:
                 f.truncate()
             self.counters[i] = 0
+
+    # -- checkpoint/restore ---------------------------------------------------
+
+    def export_state(self) -> dict:
+        """Deep-copy of everything a resumed run needs from this unit.
+
+        Flushed log pages are included because the simulated flash lives
+        in the engine's process image; charging-wise they are already
+        durable, so a checkpoint only pays for the *in-memory* tails
+        (see :meth:`repro.recovery.checkpoint.CheckpointManager.write`).
+        The monotonic ``appended`` counter and the I/O tallies are
+        exported too -- they feed trace fields, and post-resume traces
+        must be bit-identical to an uninterrupted run's.
+        """
+        files = []
+        for f in self._files:
+            if f is None:
+                files.append(None)
+            else:
+                files.append({
+                    "channel_offset": f.channel_offset,
+                    "payloads": [tuple(np.array(c, copy=True) for c in p) for p in f._payloads],
+                    "useful": list(f._useful),
+                })
+        return {
+            "files": files,
+            "buffers": [b.export_pages() for b in self._buffers],
+            "counters": self.counters.copy(),
+            "appended": self.appended,
+            "pages_used": self._pages_used,
+            "io_time_us": self.io_time_us,
+            "flushes": self.flushes,
+            "flushed_pages": self.flushed_pages,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Inverse of :meth:`export_state` on a freshly constructed unit.
+
+        Log files are re-adopted at their *recorded* channel offsets so
+        restored reads cost exactly what they would have in the original
+        run (see :meth:`repro.ssd.filesystem.SimFS.adopt_page_file`).
+        """
+        for i, fstate in enumerate(state["files"]):
+            if fstate is None:
+                self._files[i] = None
+                continue
+            f = self.fs.adopt_page_file(
+                f"{self.name}.i{i}", KLASS_MLOG, fstate["channel_offset"]
+            )
+            f._payloads = [tuple(np.array(c, copy=True) for c in p) for p in fstate["payloads"]]
+            f._useful = list(fstate["useful"])
+            self._files[i] = f
+        for buf, bstate in zip(self._buffers, state["buffers"]):
+            buf.restore_pages(bstate)
+        self.counters[:] = state["counters"]
+        self.appended = int(state["appended"])
+        self._pages_used = int(state["pages_used"])
+        self.io_time_us = float(state["io_time_us"])
+        self.flushes = int(state["flushes"])
+        self.flushed_pages = int(state["flushed_pages"])

@@ -40,3 +40,43 @@ class ProgramError(ReproError):
     edge weights without declaring ``mutates_weights``, or mutating graph
     structure from a program that does not buffer its updates.
     """
+
+
+class InjectedFaultError(StorageError):
+    """A simulated SSD operation failed because an injected fault fired.
+
+    Raised for hard device errors and for transient errors whose
+    retry-with-backoff budget was exhausted (see
+    :mod:`repro.ssd.faults`).  Carries enough context to tell *what*
+    failed; the engines deliberately do not catch it -- a failed page
+    access with no retry budget left is unrecoverable without a
+    checkpoint.
+    """
+
+    def __init__(self, message: str, *, op: str = "?", klass: str = "?", channel: int = -1) -> None:
+        super().__init__(message)
+        self.op = op
+        self.klass = klass
+        self.channel = channel
+
+
+class SimulatedCrashError(ReproError):
+    """Simulated power loss: the run stops mid-flight, state is gone.
+
+    Raised by the fault-injection layer for ``kind="crash"`` and
+    ``kind="torn"`` rules.  For torn writes, ``pages_persisted`` says
+    how many pages of the interrupted batch made it to flash before the
+    power cut (a strict prefix).  Recovery never inspects post-crash
+    in-memory state; it rebuilds everything from the last durable
+    checkpoint (see :mod:`repro.recovery`).
+    """
+
+    def __init__(self, message: str, *, pages_persisted: int = 0) -> None:
+        super().__init__(message)
+        self.pages_persisted = pages_persisted
+
+
+class RecoveryError(ReproError):
+    """Checkpoint/restore failure: no valid checkpoint, or a restored
+    checkpoint is inconsistent with the run being resumed (different
+    program, graph shape, interval partition, or engine options)."""

@@ -168,6 +168,26 @@ class RecordPageBuffer:
             return tuple(np.empty(0, dtype=dt) for dt in self.dtypes)
         return tuple(np.concatenate([p[i] for p in parts]) for i in range(len(self.fields)))
 
+    # -- checkpoint/restore ---------------------------------------------------
+
+    def export_pages(self) -> dict:
+        """Deep-copy the buffer contents, preserving page boundaries.
+
+        Unlike :meth:`peek_all` this keeps sealed pages distinct from
+        the partial top page, so a restored buffer flushes the exact
+        same page sequence as the original would have -- which is what
+        crash-recovery determinism needs.
+        """
+        return {
+            "sealed": [tuple(np.array(c, copy=True) for c in page) for page in self._sealed],
+            "top": [list(col) for col in self._top],
+        }
+
+    def restore_pages(self, state: dict) -> None:
+        """Inverse of :meth:`export_pages`; replaces current contents."""
+        self._sealed = [tuple(np.array(c, copy=True) for c in page) for page in state["sealed"]]
+        self._top = [list(col) for col in state["top"]]
+
 
 class ByteStreamPager:
     """Byte-offset bookkeeping for an append-only page stream.

@@ -19,13 +19,14 @@ internally.
 
 from .context import current_tracer, use_tracer
 from .metrics import NULL_METRICS, Counter, MetricsRegistry, NullMetricsRegistry
-from .tracer import NULL_TRACER, TraceEvent, Tracer, TraceRecorder
+from .tracer import NULL_TRACER, TRACE_KINDS, TraceEvent, Tracer, TraceRecorder
 from .writer import load_jsonl, trace_summary, write_jsonl
 
 __all__ = [
     "Tracer",
     "TraceRecorder",
     "TraceEvent",
+    "TRACE_KINDS",
     "NULL_TRACER",
     "MetricsRegistry",
     "NullMetricsRegistry",

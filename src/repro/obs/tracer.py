@@ -31,6 +31,46 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional
 
 
+#: Every event kind any engine or the device layer may emit.  Consumers
+#: (``tools/validate_trace.py``, dashboards) treat an unknown kind as a
+#: schema error, so additions here must accompany the emitting code.
+TRACE_KINDS = frozenset(
+    {
+        # run lifecycle (all engines)
+        "run_begin",
+        "run_resume",
+        "run_end",
+        "superstep_begin",
+        "superstep_end",
+        # MultiLogVC superstep internals
+        "group_plan",
+        "group_load",
+        "group_sort",
+        "group_process",
+        "edgelog_decisions",
+        "mlog_rotate",
+        "mlog_flush",
+        # recovery subsystem
+        "checkpoint_write",
+        "recovery_load",
+        # SSD fault injection (device layer)
+        "fault_error",
+        "fault_crash",
+        "fault_torn",
+        "fault_retry",
+        "channel_degraded",
+        # baseline engines
+        "shard_load",
+        "vertex_chunks",
+        "log_stream",
+        "log_flush",
+        "extsort",
+        "graph_stream",
+        "block_stream",
+    }
+)
+
+
 @dataclass
 class TraceEvent:
     """One emitted trace record."""

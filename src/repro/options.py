@@ -62,6 +62,14 @@ class EngineOptions:
         GridGraph grid dimension: partition vertices into ``p`` uniform
         intervals (``p x p`` edge blocks) instead of the edge-volume
         sizing rule.
+    checkpoint_every:
+        Write a crash-consistent checkpoint every N supersteps
+        (MultiLogVC only; 0 disables checkpointing).  See
+        :mod:`repro.recovery` and DESIGN.md §8.
+    checkpoint_mode:
+        ``"full"`` (default) snapshots the whole value vector each
+        time; ``"incremental"`` stores value deltas against the
+        previous checkpoint (resolved back to a full baseline at load).
     """
 
     mode: str = "sync"
@@ -72,6 +80,8 @@ class EngineOptions:
     adapted: bool = False
     merge_fanout: int = 16
     grid_p: Optional[int] = None
+    checkpoint_every: int = 0
+    checkpoint_mode: str = "full"
 
     def validate_for(self, engine: str) -> None:
         """Reject non-default options the named engine does not consume."""
@@ -100,12 +110,26 @@ class EngineOptions:
             raise EngineError("min_intervals must be >= 1")
         if self.grid_p is not None and self.grid_p < 1:
             raise EngineError("grid_p must be >= 1")
+        if self.checkpoint_every < 0:
+            raise EngineError("checkpoint_every must be >= 0")
+        if self.checkpoint_mode not in ("full", "incremental"):
+            raise EngineError(
+                f"checkpoint_mode must be 'full' or 'incremental', got {self.checkpoint_mode!r}"
+            )
 
 
 #: Which :class:`EngineOptions` fields each engine consumes.
 RELEVANT_OPTIONS: Dict[str, FrozenSet[str]] = {
     "multilogvc": frozenset(
-        {"mode", "enable_edgelog", "enable_fusing", "min_intervals", "intervals"}
+        {
+            "mode",
+            "enable_edgelog",
+            "enable_fusing",
+            "min_intervals",
+            "intervals",
+            "checkpoint_every",
+            "checkpoint_mode",
+        }
     ),
     "graphchi": frozenset(),
     "grafboost": frozenset({"adapted", "merge_fanout"}),

@@ -1,0 +1,27 @@
+"""Crash-consistent checkpointing and recovery validation (DESIGN.md §8).
+
+The multi-log update unit is append-only per vertex interval, so a
+superstep boundary is a natural consistency cut: this package snapshots
+that cut (:class:`CheckpointManager`), resumes an engine from it with
+bit-identical state (``repro.resume`` / ``MultiLogVC.run(resume_from=...)``),
+and proves the recovery exact (:func:`crash_resume_experiment`,
+:func:`reconcile_traces`).
+"""
+
+from .checkpoint import CheckpointData, CheckpointManager, CheckpointWriteInfo
+from .validate import (
+    CrashRecoveryReport,
+    count_device_ops,
+    crash_resume_experiment,
+    reconcile_traces,
+)
+
+__all__ = [
+    "CheckpointData",
+    "CheckpointManager",
+    "CheckpointWriteInfo",
+    "CrashRecoveryReport",
+    "count_device_ops",
+    "crash_resume_experiment",
+    "reconcile_traces",
+]

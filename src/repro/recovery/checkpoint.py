@@ -1,0 +1,389 @@
+"""Crash-consistent checkpointing for the MultiLogVC engine (DESIGN.md §8).
+
+A superstep boundary is a *consistent cut*: every message logged during
+superstep ``s`` sits in exactly one multi-log generation, the active
+tracker has advanced, the edge log has rotated, and no unit holds
+half-applied state.  :class:`CheckpointManager` snapshots that cut to
+the simulated SSD; a resumed run restores it onto a fresh engine and
+continues from superstep ``s + 1`` with bit-identical vertex state,
+per-superstep records, stats, and trace timestamps.
+
+Write protocol (commit marker)
+------------------------------
+A checkpoint is two files on the simulated file system:
+
+* ``ckpt.<id>``        -- payload pages: the pickled state blob split
+  into page-size chunks, charged as ordinary writes;
+* ``ckpt.<id>.commit`` -- one commit page carrying the blob's CRC-32,
+  its page count, and the post-checkpoint ``SSDStats`` snapshot plus
+  compute-meter time.
+
+The commit page's *write is charged first*, then its payload is
+attached without charging.  A crash anywhere before the attach leaves
+either no commit file or an empty one, so the checkpoint is invalid
+and :meth:`CheckpointManager.load_latest` falls back to the previous
+valid checkpoint -- exactly a write-ahead log's torn-commit rule.
+Capturing the stats snapshot *after* both charges closes the
+circularity between "the snapshot must reflect the checkpoint's own
+write cost" and "the snapshot is stored inside the checkpoint": the
+snapshot lives only on the commit page, which is charged before it is
+captured.
+
+Determinism
+-----------
+The restored snapshot rewinds the resumed device clock to the cut, so
+every post-resume charge lands at the same simulated time as in an
+uninterrupted run.  Recovery's own read I/O is charged to the *crashed*
+device (the flash that survived the power loss), never to the resumed
+one, and is reported in the ``run_resume`` trace event, which trace
+reconciliation ignores.
+
+Incremental mode stores the value vector as a delta
+(changed indices + values) against the previous checkpoint, chained
+back to the last full checkpoint at load time.  The first checkpoint
+after a resume is always full -- the delta baseline lives on the
+crashed device and is not carried over.
+"""
+
+from __future__ import annotations
+
+import pickle
+import re
+import zlib
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Dict, List, Optional
+
+import numpy as np
+
+from ..errors import RecoveryError
+from ..ssd.filesystem import SimFS
+
+if TYPE_CHECKING:
+    from ..core.engine import MultiLogVC
+
+KLASS_CKPT = "ckpt"
+
+#: Pinned pickle protocol: identical state must serialise to an
+#: identical blob length in the resumed and uninterrupted runs, and the
+#: CLI's host-side exports should load across the CI python matrix.
+PICKLE_PROTOCOL = 4
+
+
+@dataclass
+class CheckpointWriteInfo:
+    """What one :meth:`CheckpointManager.write` call did (for tracing)."""
+
+    ckpt_id: int
+    step: int
+    incremental: bool
+    payload_pages: int
+    time_us: float
+
+
+@dataclass
+class CheckpointData:
+    """A fully-resolved checkpoint, ready to hand to ``run(resume_from=...)``.
+
+    ``values`` is always the complete vector -- incremental deltas are
+    resolved against their baseline chain at load time.
+    """
+
+    ckpt_id: int
+    step: int
+    engine_name: str
+    program_name: str
+    mode: str
+    n_vertices: int
+    boundaries: np.ndarray
+    edgelog_enabled: bool
+    uses_edge_state: bool
+    values: np.ndarray
+    tracker: Dict[str, Any]
+    mlogs: Dict[str, Dict[str, Any]]
+    mlog_current: str
+    edgelog: Optional[Dict[str, Any]]
+    edge_state: Optional[List[np.ndarray]]
+    fs_next_offset: int
+    rng_state: Dict[str, Any]
+    records: List[Dict[str, Any]]
+    stats: Any  # SSDStats snapshot at the cut (post checkpoint write)
+    meter_time_us: float
+    checkpoint_mode: str
+    #: I/O spent loading this checkpoint (0 for host-file loads);
+    #: reported in the run_resume event, ignored by reconciliation.
+    recovery_read_pages: int = 0
+    recovery_read_time_us: float = 0.0
+    _extra: Dict[str, Any] = field(default_factory=dict)
+
+    # -- engine-compatibility gate ------------------------------------------
+
+    def validate_against(self, engine: "MultiLogVC") -> None:
+        """Raise :class:`RecoveryError` unless this checkpoint fits ``engine``."""
+        prog = engine.program
+        checks = [
+            (self.engine_name == engine.name, "engine"),
+            (self.program_name == prog.name, "program"),
+            (self.mode == engine.mode, "mode"),
+            (self.n_vertices == engine.graph.n, "graph size"),
+            (np.array_equal(self.boundaries, engine.intervals.boundaries), "interval partition"),
+            (self.edgelog_enabled == engine.enable_edgelog, "edge-log setting"),
+            (self.uses_edge_state == bool(prog.uses_edge_state), "edge-state contract"),
+        ]
+        for ok, what in checks:
+            if not ok:
+                raise RecoveryError(
+                    f"checkpoint {self.ckpt_id} (step {self.step}) does not match "
+                    f"the engine being resumed: {what} differs"
+                )
+
+    # -- host-side export (CLI --checkpoint-out / --resume-from) --------------
+
+    def save(self, path: str) -> None:
+        """Pickle this checkpoint to a real host file."""
+        with open(path, "wb") as f:
+            pickle.dump(self, f, protocol=PICKLE_PROTOCOL)
+
+    @staticmethod
+    def load(path: str) -> "CheckpointData":
+        """Load a checkpoint previously written by :meth:`save`."""
+        with open(path, "rb") as f:
+            data = pickle.load(f)
+        if not isinstance(data, CheckpointData):
+            raise RecoveryError(f"{path!r} is not a checkpoint file")
+        return data
+
+
+class CheckpointManager:
+    """Writes and loads checkpoints on a simulated file system."""
+
+    def __init__(self, fs: SimFS, name: str = "ckpt", mode: str = "full") -> None:
+        if mode not in ("full", "incremental"):
+            raise RecoveryError(f"checkpoint mode must be full/incremental, got {mode!r}")
+        self.fs = fs
+        self.name = name
+        self.mode = mode
+        self.next_id = 1
+        self.written = 0
+        self._prev_values: Optional[np.ndarray] = None
+        self._prev_id: Optional[int] = None
+
+    def resume_at(self, ckpt: CheckpointData) -> None:
+        """Continue numbering after ``ckpt``; force the next write full.
+
+        The delta baseline lives on the crashed device, so an
+        incremental checkpoint written on the resumed device could not
+        resolve its chain after a second crash.
+        """
+        self.next_id = ckpt.ckpt_id + 1
+        self._prev_values = None
+        self._prev_id = None
+
+    # -- write ----------------------------------------------------------------
+
+    def write(
+        self,
+        *,
+        engine: "MultiLogVC",
+        step: int,
+        values: np.ndarray,
+        tracker,
+        mlog_cur,
+        mlog_next,
+        edgelog,
+        rng: np.random.Generator,
+        records: list,
+        meter,
+    ) -> CheckpointWriteInfo:
+        """Snapshot the superstep-``step`` cut; returns write accounting.
+
+        Must be called at the superstep boundary, after the tracker has
+        advanced and the multi-log generations have swapped.
+        """
+        cid = self.next_id
+        incremental = self.mode == "incremental" and self._prev_values is not None
+        if incremental:
+            changed = np.flatnonzero(values != self._prev_values)
+            values_payload: Dict[str, Any] = {
+                "base_id": self._prev_id,
+                "idx": changed,
+                "val": values[changed].copy(),
+            }
+        else:
+            values_payload = {"full": values.copy()}
+
+        edge_state = None
+        if engine.program.uses_edge_state:
+            edge_state = [
+                engine.storage.interval_files(i).values.array.copy()
+                for i in range(engine.intervals.n_intervals)
+            ]
+
+        state: Dict[str, Any] = {
+            "ckpt_id": cid,
+            "step": step,
+            "engine_name": engine.name,
+            "program_name": engine.program.name,
+            "mode": engine.mode,
+            "n_vertices": int(engine.graph.n),
+            "boundaries": np.asarray(engine.intervals.boundaries).copy(),
+            "edgelog_enabled": engine.enable_edgelog,
+            "uses_edge_state": bool(engine.program.uses_edge_state),
+            "incremental": incremental,
+            "values": values_payload,
+            "tracker": tracker.export_state(),
+            "mlogs": {
+                mlog_cur.name: mlog_cur.export_state(),
+                mlog_next.name: mlog_next.export_state(),
+            },
+            "mlog_current": mlog_cur.name,
+            "edgelog": edgelog.export_state() if edgelog is not None else None,
+            "edge_state": edge_state,
+            "fs_next_offset": self.fs.next_channel_offset,
+            "rng_state": rng.bit_generator.state,
+            "records": [r.to_dict() for r in records],
+            "checkpoint_mode": self.mode,
+        }
+        blob = pickle.dumps(state, protocol=PICKLE_PROTOCOL)
+        page_size = self.fs.device.page_size
+        chunks = [blob[i : i + page_size] for i in range(0, len(blob), page_size)] or [b""]
+
+        payload_file = self.fs.create_page_file(f"{self.name}.{cid}", KLASS_CKPT, overwrite=True)
+        useful = [len(c) for c in chunks]
+        _, t_payload = payload_file.append_pages(chunks, useful_bytes=useful)
+
+        commit_file = self.fs.create_page_file(
+            f"{self.name}.{cid}.commit", KLASS_CKPT, overwrite=True
+        )
+        # Charge the commit-page write *before* capturing the stats
+        # snapshot and attaching the payload: a crash during the charge
+        # leaves an empty commit file (checkpoint invalid), and the
+        # snapshot stored on the commit page reflects the checkpoint's
+        # own complete write cost -- see the module docstring.
+        t_commit = self.fs.device.write_batch(
+            commit_file.channels_of(np.array([0], dtype=np.int64)), KLASS_CKPT
+        )
+        commit = {
+            "ckpt_id": cid,
+            "step": step,
+            "incremental": incremental,
+            "checksum": zlib.crc32(blob),
+            "length": len(blob),
+            "n_pages": len(chunks),
+            "stats": self.fs.stats.snapshot(),
+            "meter_time_us": meter.time_us,
+        }
+        commit_file.append_page(commit, useful_bytes=len(blob) % page_size, charge=False)
+
+        self._prev_values = values.copy()
+        self._prev_id = cid
+        self.next_id = cid + 1
+        self.written += 1
+        return CheckpointWriteInfo(
+            ckpt_id=cid,
+            step=step,
+            incremental=incremental,
+            payload_pages=len(chunks),
+            time_us=t_payload + t_commit,
+        )
+
+    # -- load ----------------------------------------------------------------
+
+    @classmethod
+    def list_ids(cls, fs: SimFS, name: str = "ckpt") -> List[int]:
+        """Checkpoint ids that have a commit file, oldest first."""
+        pat = re.compile(rf"^{re.escape(name)}\.(\d+)\.commit$")
+        ids = [int(m.group(1)) for n in fs.names() if (m := pat.match(n))]
+        return sorted(ids)
+
+    @classmethod
+    def load_latest(cls, fs: SimFS, name: str = "ckpt") -> CheckpointData:
+        """Load the newest *valid* checkpoint from a (crashed) file system.
+
+        Walks checkpoint ids newest-first, skipping any whose commit
+        marker is missing/empty or whose payload fails the length or
+        CRC-32 check (torn writes), and resolving incremental deltas
+        back to their full baseline.  Raises :class:`RecoveryError` if
+        no checkpoint survives.
+        """
+        read_pages = 0
+        read_time = 0.0
+        errors: List[str] = []
+        for cid in reversed(cls.list_ids(fs, name)):
+            try:
+                state, commit, pages, t = cls._load_one(fs, name, cid)
+            except RecoveryError as e:
+                errors.append(str(e))
+                continue
+            read_pages += pages
+            read_time += t
+            try:
+                values, pages, t = cls._resolve_values(fs, name, state)
+            except RecoveryError as e:
+                errors.append(str(e))
+                continue
+            read_pages += pages
+            read_time += t
+            return CheckpointData(
+                ckpt_id=state["ckpt_id"],
+                step=state["step"],
+                engine_name=state["engine_name"],
+                program_name=state["program_name"],
+                mode=state["mode"],
+                n_vertices=state["n_vertices"],
+                boundaries=state["boundaries"],
+                edgelog_enabled=state["edgelog_enabled"],
+                uses_edge_state=state["uses_edge_state"],
+                values=values,
+                tracker=state["tracker"],
+                mlogs=state["mlogs"],
+                mlog_current=state["mlog_current"],
+                edgelog=state["edgelog"],
+                edge_state=state["edge_state"],
+                fs_next_offset=state["fs_next_offset"],
+                rng_state=state["rng_state"],
+                records=state["records"],
+                stats=commit["stats"],
+                meter_time_us=commit["meter_time_us"],
+                checkpoint_mode=state["checkpoint_mode"],
+                recovery_read_pages=read_pages,
+                recovery_read_time_us=read_time,
+            )
+        detail = f" ({'; '.join(errors)})" if errors else ""
+        raise RecoveryError(f"no valid checkpoint named {name!r} found{detail}")
+
+    @classmethod
+    def _load_one(cls, fs: SimFS, name: str, cid: int):
+        """Read and verify one checkpoint; returns (state, commit, pages, us)."""
+        commit_name = f"{name}.{cid}.commit"
+        payload_name = f"{name}.{cid}"
+        if commit_name not in fs or payload_name not in fs:
+            raise RecoveryError(f"checkpoint {cid}: files missing")
+        commit_file = fs.get(commit_name)
+        if commit_file.n_pages == 0:
+            raise RecoveryError(f"checkpoint {cid}: commit marker missing (torn commit)")
+        commits, t1 = commit_file.read_all()
+        commit = commits[-1]
+        payload_file = fs.get(payload_name)
+        if payload_file.n_pages != commit["n_pages"]:
+            raise RecoveryError(
+                f"checkpoint {cid}: payload has {payload_file.n_pages} pages, "
+                f"commit says {commit['n_pages']} (torn payload)"
+            )
+        chunks, t2 = payload_file.read_all()
+        blob = b"".join(chunks)
+        if len(blob) != commit["length"] or zlib.crc32(blob) != commit["checksum"]:
+            raise RecoveryError(f"checkpoint {cid}: payload checksum mismatch")
+        state = pickle.loads(blob)
+        pages = commit_file.n_pages + payload_file.n_pages
+        return state, commit, pages, t1 + t2
+
+    @classmethod
+    def _resolve_values(cls, fs: SimFS, name: str, state: Dict[str, Any]):
+        """Resolve the (possibly incremental) value vector to a full copy."""
+        vp = state["values"]
+        if "full" in vp:
+            return vp["full"].copy(), 0, 0.0
+        base_state, _, pages, t = cls._load_one(fs, name, vp["base_id"])
+        base_values, base_pages, base_t = cls._resolve_values(fs, name, base_state)
+        base_values[vp["idx"]] = vp["val"]
+        return base_values, pages + base_pages, t + base_t

@@ -23,7 +23,7 @@ returns the engine's :class:`~repro.core.results.RunResult` with its
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from typing import Callable, Optional, Union
 
 from .baselines import GraFBoost, GraphChi, GridGraph, XStream
 from .config import DEFAULT_CONFIG, SimConfig
@@ -34,6 +34,7 @@ from .errors import EngineError
 from .graph.csr import CSRGraph
 from .obs import MetricsRegistry, Tracer
 from .options import EngineOptions
+from .recovery.checkpoint import CheckpointData
 from .ssd.filesystem import SimFS
 
 #: Engine name -> class, the registry behind ``engine="..."``.
@@ -62,6 +63,7 @@ def run(
     fs: Optional[SimFS] = None,
     max_supersteps: int = 15,
     seed: int = 0,
+    resume_from: Optional[CheckpointData] = None,
 ) -> RunResult:
     """Run ``program`` on ``graph`` with the named engine.
 
@@ -82,10 +84,18 @@ def run(
     progress:
         Called with each completed :class:`SuperstepRecord` -- the hook
         for long-run progress reporting.
+    resume_from:
+        A :class:`~repro.recovery.CheckpointData` to restore before the
+        first superstep (MultiLogVC only); see :func:`resume` for the
+        path-accepting convenience wrapper.
     """
     cls = ENGINES.get(engine)
     if cls is None:
         raise EngineError(f"unknown engine {engine!r}; choose from {sorted(ENGINES)}")
+    if resume_from is not None and engine != "multilogvc":
+        raise EngineError(
+            f"resume_from is only supported by the multilogvc engine, not {engine!r}"
+        )
     if metrics is None:
         metrics = MetricsRegistry()
     inst = cls(
@@ -98,4 +108,50 @@ def run(
         metrics=metrics,
         progress=progress,
     )
+    if resume_from is not None:
+        return inst.run(max_supersteps=max_supersteps, seed=seed, resume_from=resume_from)
     return inst.run(max_supersteps=max_supersteps, seed=seed)
+
+
+def resume(
+    graph: CSRGraph,
+    program: VertexProgram,
+    checkpoint: Union[CheckpointData, str],
+    *,
+    config: SimConfig = DEFAULT_CONFIG,
+    options: Optional[EngineOptions] = None,
+    tracer: Optional[Tracer] = None,
+    metrics: Optional[MetricsRegistry] = None,
+    progress: Optional[ProgressFn] = None,
+    fs: Optional[SimFS] = None,
+    max_supersteps: int = 15,
+    seed: int = 0,
+) -> RunResult:
+    """Resume a MultiLogVC run from a checkpoint.
+
+    ``checkpoint`` is either a :class:`~repro.recovery.CheckpointData`
+    (e.g. from :meth:`CheckpointManager.load_latest` on a crashed run's
+    file system) or a path to a host-side snapshot written by
+    :meth:`CheckpointData.save`.  ``graph``/``program``/``config`` and
+    the relevant ``options`` must match the checkpointed run -- the
+    checkpoint validates compatibility and raises
+    :class:`~repro.errors.RecoveryError` on mismatch.  The resumed run
+    continues at superstep ``checkpoint.step + 1`` and is bit-identical
+    to an uninterrupted run from that cut.
+    """
+    if isinstance(checkpoint, (str,)):
+        checkpoint = CheckpointData.load(checkpoint)
+    return run(
+        graph,
+        program,
+        engine="multilogvc",
+        config=config,
+        options=options,
+        tracer=tracer,
+        metrics=metrics,
+        progress=progress,
+        fs=fs,
+        max_supersteps=max_supersteps,
+        seed=seed,
+        resume_from=checkpoint,
+    )

@@ -4,9 +4,16 @@ Stands in for the paper's Samsung 860 EVO + Linux async-IO stack: a
 deterministic page-granular, multi-channel SSD with per-class I/O
 accounting.  See DESIGN.md §2 for why this substitution preserves the
 paper's results.
+
+Fault injection lives in :mod:`repro.ssd.faults`: a
+:class:`FaultPlan` installed on the device can fail reads/writes by
+storage class/channel/probability/deadline, tear writes mid-batch, and
+simulate power loss; the device retries transient errors with backoff
+and degrades channels that keep faulting.  See DESIGN.md §8.
 """
 
 from .device import SimulatedSSD
+from .faults import FAULT_KINDS, ChannelDegradation, FaultEvent, FaultPlan, FaultRule, RetryPolicy
 from .file import ArrayFile, PageFile, pages_for_ranges
 from .filesystem import SimFS
 from .stats import IOCounter, SSDStats
@@ -19,4 +26,10 @@ __all__ = [
     "SimFS",
     "IOCounter",
     "SSDStats",
+    "FaultPlan",
+    "FaultRule",
+    "FaultEvent",
+    "RetryPolicy",
+    "ChannelDegradation",
+    "FAULT_KINDS",
 ]

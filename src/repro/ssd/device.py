@@ -32,7 +32,9 @@ from typing import List, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from ..config import SimConfig
-from ..errors import StorageError
+from ..errors import InjectedFaultError, SimulatedCrashError, StorageError
+from ..obs.tracer import NULL_TRACER, Tracer
+from .faults import ChannelDegradation, FaultEvent, FaultPlan, RetryPolicy
 from .stats import SSDStats
 
 ChannelVector = Union[np.ndarray, Sequence[int]]
@@ -64,6 +66,16 @@ class SimulatedSSD:
         self._channels = config.ssd.channels
         self._page_size = config.ssd.page_size
         self._tls = threading.local()
+        # Fault injection (see repro.ssd.faults).  With no plan installed
+        # the hot paths take the exact pre-fault code paths, so timing
+        # stays bit-identical to a device without this machinery.
+        self.fault_plan: Optional[FaultPlan] = None
+        self.retry_policy = RetryPolicy()
+        self.degradation = ChannelDegradation()
+        self.tracer: Tracer = NULL_TRACER
+        self._channel_faults = np.zeros(self._channels, dtype=np.int64)
+        self._degraded_mask = np.zeros(self._channels, dtype=bool)
+        self._any_degraded = False
 
     # -- geometry -------------------------------------------------------
 
@@ -86,12 +98,116 @@ class SimulatedSSD:
         """
         return self.stats.total_time_us
 
+    # -- fault injection --------------------------------------------------
+
+    def install_faults(
+        self,
+        plan: FaultPlan,
+        retry_policy: Optional[RetryPolicy] = None,
+        degradation: Optional[ChannelDegradation] = None,
+    ) -> None:
+        """Arm a :class:`~repro.ssd.faults.FaultPlan` on this device."""
+        self.fault_plan = plan
+        if retry_policy is not None:
+            self.retry_policy = retry_policy
+        if degradation is not None:
+            self.degradation = degradation
+
+    def clear_faults(self) -> None:
+        """Disarm fault injection and heal all degraded channels."""
+        self.fault_plan = None
+        self._channel_faults[:] = 0
+        self._degraded_mask[:] = False
+        self._any_degraded = False
+
+    @property
+    def degraded_channels(self) -> np.ndarray:
+        """Channels that crossed the degradation error threshold."""
+        return np.flatnonzero(self._degraded_mask)
+
+    def _note_channel_fault(self, channel: int) -> None:
+        if not 0 <= channel < self._channels:
+            return
+        self._channel_faults[channel] += 1
+        if (
+            not self._degraded_mask[channel]
+            and self._channel_faults[channel] >= self.degradation.error_threshold
+        ):
+            self._degraded_mask[channel] = True
+            self._any_degraded = True
+            self.tracer.emit(
+                "channel_degraded",
+                channel=channel,
+                faults=int(self._channel_faults[channel]),
+                read_latency_multiplier=self.degradation.read_latency_multiplier,
+            )
+
+    def _fault_check(self, is_read: bool, klass: str, arr: np.ndarray) -> Optional[FaultEvent]:
+        """Consult the installed plan; retry transient errors in place.
+
+        Returns the torn-write event (so the caller can persist the
+        prefix) or None.  Hard errors raise
+        :class:`~repro.errors.InjectedFaultError`; crashes raise
+        :class:`~repro.errors.SimulatedCrashError`.  Each retry attempt
+        is re-checked against the plan, charges its backoff as a 0-page
+        record under the ``"retry"`` storage class, and is traced.
+        """
+        plan = self.fault_plan
+        if plan is None:
+            return None
+        attempt = 0
+        while True:
+            ev = plan.check(is_read, klass, arr, self.now_us)
+            if ev is None:
+                return None
+            self._note_channel_fault(ev.channel)
+            if ev.kind == "crash":
+                self.tracer.emit("fault_crash", op=ev.op, klass=klass, channel=ev.channel)
+                raise SimulatedCrashError(
+                    f"injected power loss during {ev.op} of klass {klass!r}"
+                )
+            if ev.kind == "torn":
+                return ev
+            if ev.rule.transient and attempt < self.retry_policy.max_retries:
+                attempt += 1
+                delay = self.retry_policy.delay_us(attempt)
+                self._charge(is_read, "retry", 0, 0, delay)
+                self.tracer.emit(
+                    "fault_retry",
+                    op=ev.op,
+                    klass=klass,
+                    channel=ev.channel,
+                    attempt=attempt,
+                    backoff_us=delay,
+                )
+                continue
+            self.tracer.emit(
+                "fault_error",
+                op=ev.op,
+                klass=klass,
+                channel=ev.channel,
+                transient=ev.rule.transient,
+                attempts=attempt,
+            )
+            raise InjectedFaultError(
+                f"injected {ev.op} error on klass {klass!r} channel {ev.channel}"
+                + (f" after {attempt} retries" if attempt else ""),
+                op=ev.op,
+                klass=klass,
+                channel=ev.channel,
+            )
+
     # -- timing ----------------------------------------------------------
 
-    def _batch_time(self, channel_ids: np.ndarray, latency_us: float) -> float:
+    def _batch_time(self, channel_ids: np.ndarray, latency_us: float, read: bool = False) -> float:
         if channel_ids.size == 0:
             return 0.0
         counts = np.bincount(channel_ids, minlength=self._channels)
+        if read and self._any_degraded:
+            # Degraded channels pay an ECC/read-retry latency multiplier.
+            weighted = counts.astype(np.float64)
+            weighted[self._degraded_mask] *= self.degradation.read_latency_multiplier
+            return float(self.config.ssd.batch_overhead_us + weighted.max() * latency_us)
         return float(self.config.ssd.batch_overhead_us + counts.max() * latency_us)
 
     def _coerce(self, channel_ids: ChannelVector) -> np.ndarray:
@@ -172,7 +288,9 @@ class SimulatedSSD:
         arr = self._coerce(channel_ids)
         if arr.size == 0:
             return 0.0
-        t = self._batch_time(arr, self.config.ssd.read_latency_us)
+        if self.fault_plan is not None:
+            self._fault_check(True, klass, arr)  # torn cannot fire on reads
+        t = self._batch_time(arr, self.config.ssd.read_latency_us, read=True)
         self._charge(True, klass, int(arr.size), int(arr.size) * self._page_size, t)
         return t
 
@@ -189,10 +307,38 @@ class SimulatedSSD:
         arr = self._coerce(channel_ids)
         if arr.size == 0:
             return 0.0
-        per_channel = -(-int(arr.size) // self._channels)
-        t = float(self.config.ssd.batch_overhead_us + per_channel * self.config.ssd.write_latency_us)
-        self._charge(False, klass, int(arr.size), int(arr.size) * self._page_size, t)
+        n_pages = int(arr.size)
+        if self.fault_plan is not None:
+            ev = self._fault_check(False, klass, arr)
+            if ev is not None:  # torn write: a strict prefix persists
+                persisted = min(ev.pages_persisted, n_pages - 1)
+                if persisted > 0:
+                    t = self._write_time(persisted)
+                    self._charge(False, klass, persisted, persisted * self._page_size, t)
+                self.tracer.emit(
+                    "fault_torn",
+                    op="write",
+                    klass=klass,
+                    channel=ev.channel,
+                    pages_requested=n_pages,
+                    pages_persisted=max(0, persisted),
+                )
+                raise SimulatedCrashError(
+                    f"torn write on klass {klass!r}: {max(0, persisted)}/{n_pages} "
+                    f"pages persisted before power loss",
+                    pages_persisted=max(0, persisted),
+                )
+        t = self._write_time(n_pages)
+        self._charge(False, klass, n_pages, n_pages * self._page_size, t)
         return t
+
+    def _write_time(self, n_pages: int) -> float:
+        """Striped write cost: degraded channels are skipped by the FTL."""
+        healthy = self._channels
+        if self._any_degraded:
+            healthy = max(1, self._channels - int(self._degraded_mask.sum()))
+        per_channel = -(-n_pages // healthy)
+        return float(self.config.ssd.batch_overhead_us + per_channel * self.config.ssd.write_latency_us)
 
     # -- convenience ------------------------------------------------------
 

@@ -25,7 +25,7 @@ from typing import Any, List, Optional, Tuple
 
 import numpy as np
 
-from ..errors import StorageError
+from ..errors import SimulatedCrashError, StorageError
 from .device import SimulatedSSD
 
 
@@ -65,7 +65,13 @@ class PageFile(SimFileBase):
         self._useful.append(self.device.page_size if useful_bytes is None else int(useful_bytes))
         t = 0.0
         if charge:
-            t = self.device.write_batch(self.channels_of(np.array([page_id])), self.klass)
+            try:
+                t = self.device.write_batch(self.channels_of(np.array([page_id])), self.klass)
+            except SimulatedCrashError:
+                # Torn write: the single page did not survive the power cut.
+                del self._payloads[page_id:]
+                del self._useful[page_id:]
+                raise
         return page_id, t
 
     def append_pages(self, payloads: List[Any], useful_bytes: Optional[List[int]] = None, charge: bool = True) -> Tuple[np.ndarray, float]:
@@ -81,7 +87,19 @@ class PageFile(SimFileBase):
                 raise StorageError("useful_bytes length mismatch")
             self._useful.extend(int(b) for b in useful_bytes)
         ids = np.arange(start, len(self._payloads), dtype=np.int64)
-        t = self.device.write_batch(self.channels_of(ids), self.klass) if charge else 0.0
+        if not charge:
+            return ids, 0.0
+        try:
+            t = self.device.write_batch(self.channels_of(ids), self.klass)
+        except SimulatedCrashError as crash:
+            # Torn write: only the first pages_persisted pages of this
+            # batch made it to flash.  Keep that strict prefix so
+            # post-crash inspection (and recovery) sees what a real
+            # append-only log would contain.
+            keep = start + max(0, crash.pages_persisted)
+            del self._payloads[keep:]
+            del self._useful[keep:]
+            raise
         return ids, t
 
     # -- reads -----------------------------------------------------------

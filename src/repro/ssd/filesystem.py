@@ -56,6 +56,29 @@ class SimFS:
         self._register(f, overwrite)
         return f
 
+    def adopt_page_file(self, name: str, klass: str, channel_offset: int) -> PageFile:
+        """Recreate a page file at a *recorded* channel offset.
+
+        Recovery uses this to rebuild multi-log / edge-log files on a
+        fresh file system with exactly the channel placement they had in
+        the crashed run, without disturbing the round-robin allocator --
+        ``_next_offset`` is restored separately via
+        :attr:`next_channel_offset`, so files created after the resume
+        point land on the same channels as in an uninterrupted run.
+        """
+        f = PageFile(self.device, name, klass, channel_offset=channel_offset)
+        self._register(f, overwrite=True)
+        return f
+
+    @property
+    def next_channel_offset(self) -> int:
+        """Round-robin allocator state (checkpointed and restored)."""
+        return self._next_offset
+
+    @next_channel_offset.setter
+    def next_channel_offset(self, value: int) -> None:
+        self._next_offset = int(value) % self.device.channels
+
     def create_array_file(
         self,
         name: str,

@@ -1,4 +1,13 @@
-"""Failure injection: every layer must fail loudly on misuse."""
+"""Failure injection: misuse must fail loudly, injected faults must
+behave exactly as the fault plan specifies.
+
+Two families of tests live here: the original misuse checks (bad
+configs, bad programs, bad storage calls raise the right error class)
+and the :class:`~repro.ssd.faults.FaultPlan` tests -- injected read
+errors mid-load, torn writes on multi-log flushes, crashes between a
+checkpoint and the next superstep commit, retry-with-backoff, and
+channel degradation.
+"""
 
 import dataclasses
 
@@ -10,21 +19,41 @@ from repro import (
     ConfigError,
     EngineError,
     GraphFormatError,
+    InjectedFaultError,
     MultiLogVC,
     ProgramError,
+    RecoveryError,
     ReproError,
+    SimulatedCrashError,
     StorageError,
 )
 from repro.config import MemoryConfig, SimConfig, SSDConfig, small_test_config
 from repro.core import InitialState, VertexProgram
 from repro.graph import CSRGraph
-from repro.ssd import SimFS, SimulatedSSD
+from repro.ssd import (
+    ChannelDegradation,
+    FaultPlan,
+    FaultRule,
+    RetryPolicy,
+    SimFS,
+    SimulatedSSD,
+)
 
 
 class TestErrorHierarchy:
     @pytest.mark.parametrize(
         "exc",
-        [ConfigError, StorageError, BudgetExceededError, GraphFormatError, EngineError, ProgramError],
+        [
+            ConfigError,
+            StorageError,
+            BudgetExceededError,
+            GraphFormatError,
+            EngineError,
+            ProgramError,
+            InjectedFaultError,
+            RecoveryError,
+            SimulatedCrashError,
+        ],
     )
     def test_all_derive_from_repro_error(self, exc):
         assert issubclass(exc, ReproError)
@@ -201,3 +230,145 @@ class TestProcessCrashPropagates:
 
         with pytest.raises(Exception):
             MultiLogVC(chain16, P(), cfg).run(1)
+
+
+class TestFaultPlanMisuse:
+    def test_bad_op(self):
+        with pytest.raises(ConfigError):
+            FaultRule(op="erase")
+
+    def test_bad_kind(self):
+        with pytest.raises(ConfigError):
+            FaultRule(kind="meltdown")
+
+    def test_bad_probability(self):
+        with pytest.raises(ConfigError):
+            FaultRule(probability=0.0)
+
+    def test_negative_after_ops(self):
+        with pytest.raises(ConfigError):
+            FaultRule(after_ops=-1)
+
+
+def _pagerank_engine(cfg, options=None):
+    from repro.algorithms import DeltaPageRankProgram
+    from repro.graph.datasets import small_rmat
+    from repro.options import EngineOptions
+
+    return MultiLogVC(
+        small_rmat(n=256, m=2048, seed=3),
+        DeltaPageRankProgram(),
+        cfg,
+        options=options or EngineOptions(),
+    )
+
+
+class TestInjectedFaults:
+    def test_read_error_mid_graph_load(self, cfg):
+        """A hard read error while streaming CSR adjacency aborts the run."""
+        eng = _pagerank_engine(cfg)
+        eng.fs.device.install_faults(
+            FaultPlan.read_error(klass="csr_col", after_ops=2)
+        )
+        with pytest.raises(InjectedFaultError) as exc_info:
+            eng.run(8)
+        assert exc_info.value.klass == "csr_col"
+        assert exc_info.value.op == "read"
+
+    def test_torn_write_on_multilog_flush(self, cfg):
+        """A torn multi-log flush persists a strict prefix, then crashes."""
+        eng = _pagerank_engine(cfg)
+        eng.fs.device.install_faults(FaultPlan.torn_write_after(1, seed=5, klass="mlog"))
+        with pytest.raises(SimulatedCrashError) as exc_info:
+            eng.run(8)
+        assert exc_info.value.pages_persisted >= 0
+
+    def test_torn_write_truncates_page_file(self, fs):
+        """The page file keeps exactly the persisted prefix after a torn write."""
+        f = fs.create_page_file("log", "x")
+        f.append_page(b"before")
+        fs.device.install_faults(FaultPlan.torn_write_after(0, seed=11))
+        with pytest.raises(SimulatedCrashError) as exc_info:
+            f.append_pages([b"a", b"b", b"c", b"d"])
+        persisted = exc_info.value.pages_persisted
+        assert 0 <= persisted < 4
+        assert f.n_pages == 1 + persisted
+
+    def test_crash_between_checkpoint_and_superstep_commit(self, cfg):
+        """Power loss inside the *next* checkpoint's payload write leaves the
+        previous commit as the newest valid cut; recovery from it is exact."""
+        from repro.algorithms import DeltaPageRankProgram
+        from repro.graph.datasets import small_rmat
+        from repro.options import EngineOptions
+        from repro.recovery import crash_resume_experiment
+
+        # klass-filtered after_ops=2 skips checkpoint 1's payload+commit
+        # batches, so the crash lands mid-write of checkpoint 2 -- after
+        # superstep 3 ran but before its cut became durable.
+        report = crash_resume_experiment(
+            lambda: small_rmat(n=256, m=2048, seed=3),
+            lambda: DeltaPageRankProgram(),
+            config=cfg,
+            options=EngineOptions(checkpoint_every=2),
+            crash_after_ops=2,
+            fault_klass="ckpt",
+            max_supersteps=8,
+        )
+        assert report.crashed
+        assert report.checkpoint_id == 1
+        assert report.ok, report.describe()
+
+    def test_transient_error_retries_and_succeeds(self, cfg):
+        dev = SimulatedSSD(cfg)
+        dev.install_faults(
+            FaultPlan.read_error(klass="x", transient=True, max_fires=1),
+            retry_policy=RetryPolicy(max_retries=2, backoff_us=50.0),
+        )
+        t = dev.read_batch(np.array([0, 1]), "x")
+        assert t > 0
+        retries = dev.stats.to_dict()["reads"].get("retry")
+        assert retries is not None and retries["batches"] == 1
+        assert retries["time_us"] == 50.0
+
+    def test_transient_error_exhausts_retries(self, cfg):
+        dev = SimulatedSSD(cfg)
+        dev.install_faults(
+            FaultPlan(
+                [FaultRule(op="read", kind="error", transient=True, max_fires=0)]
+            ),
+            retry_policy=RetryPolicy(max_retries=2, backoff_us=50.0),
+        )
+        with pytest.raises(InjectedFaultError, match="after 2 retries"):
+            dev.read_batch(np.array([0]), "x")
+
+    def test_channel_degradation_slows_reads(self, cfg):
+        dev = SimulatedSSD(cfg)
+        healthy_t = dev.read_batch(np.array([0]), "x")
+        dev.install_faults(
+            FaultPlan(
+                [
+                    FaultRule(
+                        op="read", kind="error", channel=0,
+                        transient=True, max_fires=3,
+                    )
+                ]
+            ),
+            retry_policy=RetryPolicy(max_retries=3, backoff_us=10.0),
+            degradation=ChannelDegradation(error_threshold=3, read_latency_multiplier=2.0),
+        )
+        dev.read_batch(np.array([0]), "x")  # 3 transient hits -> degraded
+        assert list(dev.degraded_channels) == [0]
+        degraded_t = dev.read_batch(np.array([0]), "x")
+        overhead = cfg.ssd.batch_overhead_us
+        assert degraded_t - overhead == pytest.approx(2.0 * (healthy_t - overhead))
+        # healing restores the original timing
+        dev.clear_faults()
+        assert dev.read_batch(np.array([0]), "x") == healthy_t
+
+    def test_no_plan_means_no_timing_change(self, cfg):
+        a, b = SimulatedSSD(cfg), SimulatedSSD(cfg)
+        b.install_faults(FaultPlan([]))
+        chans = np.arange(16) % cfg.ssd.channels
+        assert a.read_batch(chans, "x") == b.read_batch(chans, "x")
+        assert a.write_batch(chans, "x") == b.write_batch(chans, "x")
+        assert a.stats.to_dict() == b.stats.to_dict()

@@ -1,0 +1,271 @@
+"""Crash-consistent checkpointing and recovery (DESIGN.md §8).
+
+The acceptance bar is exactness: after an injected power loss at a
+random point in a random superstep, resuming from the newest surviving
+checkpoint must reproduce the uninterrupted run bit-for-bit -- final
+vertex values, per-superstep records, run stats, and an
+event-for-event reconcilable trace from the first post-checkpoint
+superstep onward.
+"""
+
+import numpy as np
+import pytest
+
+import repro
+from repro import EngineError, EngineOptions, MultiLogVC, RecoveryError, SimulatedCrashError
+from repro.algorithms import BFSProgram, DeltaPageRankProgram, WCCProgram
+from repro.graph.datasets import small_rmat
+from repro.recovery import (
+    CheckpointData,
+    CheckpointManager,
+    count_device_ops,
+    crash_resume_experiment,
+    reconcile_traces,
+)
+from repro.ssd import FaultPlan
+
+GRAPH = lambda: small_rmat(n=256, m=2048, seed=3)
+
+ALGORITHMS = {
+    "pagerank": lambda: DeltaPageRankProgram(),
+    "bfs": lambda: BFSProgram(source=0),
+    "wcc": lambda: WCCProgram(),
+}
+
+
+class TestCrashRecoveryDeterminism:
+    """The tentpole guarantee, for three algorithms at random crash points."""
+
+    @pytest.mark.parametrize("alg", sorted(ALGORITHMS))
+    def test_random_crash_points_recover_exactly(self, cfg, alg):
+        options = EngineOptions(checkpoint_every=2)
+        total_ops, _ = count_device_ops(
+            GRAPH, ALGORITHMS[alg], config=cfg, options=options, max_supersteps=8
+        )
+        rng = np.random.default_rng(42)
+        crash_points = sorted(
+            int(p) for p in rng.integers(1, total_ops + 1, size=6)
+        )
+        resumed = 0
+        for point in crash_points:
+            report = crash_resume_experiment(
+                GRAPH,
+                ALGORITHMS[alg],
+                config=cfg,
+                options=options,
+                crash_after_ops=point,
+                fault_seed=point,
+                max_supersteps=8,
+            )
+            if report.no_checkpoint:
+                continue  # crash preceded the first checkpoint: nothing to recover
+            assert report.ok, f"{alg} crash@{point}: {report.describe()}"
+            if report.crashed:
+                resumed += 1
+        # the sweep must actually exercise recovery, not just benign outcomes
+        assert resumed >= 1, f"{alg}: no crash point produced a resumable run"
+
+    def test_resumed_trace_reconciles_with_uninterrupted(self, cfg):
+        """Spot-check the strongest form: identical post-cut timestamps."""
+        options = EngineOptions(checkpoint_every=2)
+        total_ops, _ = count_device_ops(
+            GRAPH, ALGORITHMS["pagerank"], config=cfg, options=options, max_supersteps=8
+        )
+        report = crash_resume_experiment(
+            GRAPH,
+            ALGORITHMS["pagerank"],
+            config=cfg,
+            options=options,
+            crash_after_ops=total_ops // 2,
+            max_supersteps=8,
+        )
+        assert report.crashed and not report.no_checkpoint
+        assert report.values_identical
+        assert report.records_identical
+        assert report.stats_identical
+        assert report.trace_mismatches == []
+
+
+class TestIncrementalCheckpoints:
+    def test_incremental_mode_recovers_values_exactly(self, cfg):
+        options = EngineOptions(checkpoint_every=2, checkpoint_mode="incremental")
+        total_ops, _ = count_device_ops(
+            GRAPH, ALGORITHMS["pagerank"], config=cfg, options=options, max_supersteps=8
+        )
+        report = crash_resume_experiment(
+            GRAPH,
+            ALGORITHMS["pagerank"],
+            config=cfg,
+            options=options,
+            crash_after_ops=int(total_ops * 0.8),
+            max_supersteps=8,
+        )
+        assert report.crashed and not report.no_checkpoint
+        # the delta chain resolves through >1 checkpoint
+        assert report.checkpoint_id > 1
+        assert report.ok, report.describe()
+
+    def test_incremental_writes_fewer_payload_pages_when_sparse(self, cfg):
+        """BFS activates few vertices per step, so deltas beat full snapshots."""
+        from repro.obs import TraceRecorder
+
+        def payload_pages(mode):
+            tracer = TraceRecorder()
+            eng = MultiLogVC(
+                GRAPH(),
+                BFSProgram(source=0),
+                cfg,
+                options=EngineOptions(checkpoint_every=1, checkpoint_mode=mode),
+                tracer=tracer,
+            )
+            eng.run(6)
+            writes = [
+                e.fields["payload_pages"]
+                for e in tracer.events
+                if e.kind == "checkpoint_write"
+            ]
+            assert len(writes) >= 3
+            return sum(writes[1:])  # first checkpoint is full in both modes
+
+        assert payload_pages("incremental") < payload_pages("full")
+
+
+class TestCheckpointDurability:
+    def test_torn_checkpoint_falls_back_to_previous(self, cfg):
+        eng = MultiLogVC(
+            GRAPH(), DeltaPageRankProgram(), cfg, options=EngineOptions(checkpoint_every=2)
+        )
+        # after_ops=2 skips checkpoint 1's payload + commit, so the tear
+        # hits checkpoint 2 -> its commit never lands -> 1 stays newest
+        eng.fs.device.install_faults(FaultPlan.torn_write_after(2, seed=7, klass="ckpt"))
+        with pytest.raises(SimulatedCrashError):
+            eng.run(8)
+        ckpt = CheckpointManager.load_latest(eng.fs)
+        assert ckpt.ckpt_id == 1
+        assert ckpt.step == 1
+
+    def test_load_latest_without_checkpoints_raises(self, fs):
+        with pytest.raises(RecoveryError):
+            CheckpointManager.load_latest(fs)
+
+    def test_crash_before_first_checkpoint_leaves_nothing(self, cfg):
+        eng = MultiLogVC(
+            GRAPH(), DeltaPageRankProgram(), cfg, options=EngineOptions(checkpoint_every=5)
+        )
+        eng.fs.device.install_faults(FaultPlan.crash_after(3))
+        with pytest.raises(SimulatedCrashError):
+            eng.run(8)
+        with pytest.raises(RecoveryError):
+            CheckpointManager.load_latest(eng.fs)
+
+
+class TestResumeFacade:
+    def _checkpoint_from_crash(self, cfg, tmp_path):
+        eng = MultiLogVC(
+            GRAPH(), DeltaPageRankProgram(), cfg, options=EngineOptions(checkpoint_every=2)
+        )
+        eng.fs.device.install_faults(FaultPlan.crash_after(40))
+        with pytest.raises(SimulatedCrashError):
+            eng.run(8)
+        ckpt = CheckpointManager.load_latest(eng.fs)
+        path = tmp_path / "run.ckpt"
+        ckpt.save(path)
+        return path
+
+    def test_resume_from_saved_checkpoint_path(self, cfg, tmp_path):
+        baseline = repro.run(
+            GRAPH(),
+            DeltaPageRankProgram(),
+            config=cfg,
+            options=EngineOptions(checkpoint_every=2),
+            max_supersteps=8,
+        )
+        path = self._checkpoint_from_crash(cfg, tmp_path)
+        resumed = repro.resume(
+            GRAPH(),
+            DeltaPageRankProgram(),
+            str(path),
+            config=cfg,
+            options=EngineOptions(checkpoint_every=2),
+            max_supersteps=8,
+        )
+        assert resumed.values.tobytes() == baseline.values.tobytes()
+        assert [r.to_dict() for r in resumed.supersteps] == [
+            r.to_dict() for r in baseline.supersteps
+        ]
+        assert resumed.stats.to_dict() == baseline.stats.to_dict()
+
+    def test_resume_rejects_mismatched_program(self, cfg, tmp_path):
+        path = self._checkpoint_from_crash(cfg, tmp_path)
+        with pytest.raises(RecoveryError):
+            repro.resume(
+                GRAPH(),
+                WCCProgram(),
+                str(path),
+                config=cfg,
+                options=EngineOptions(checkpoint_every=2),
+                max_supersteps=8,
+            )
+
+    def test_resume_rejects_mismatched_graph(self, cfg, tmp_path):
+        path = self._checkpoint_from_crash(cfg, tmp_path)
+        with pytest.raises(RecoveryError):
+            repro.resume(
+                small_rmat(n=128, m=1024, seed=3),
+                DeltaPageRankProgram(),
+                str(path),
+                config=cfg,
+                options=EngineOptions(checkpoint_every=2),
+                max_supersteps=8,
+            )
+
+    def test_run_facade_rejects_resume_on_other_engines(self, cfg, tmp_path):
+        path = self._checkpoint_from_crash(cfg, tmp_path)
+        ckpt = CheckpointData.load(path)
+        with pytest.raises(EngineError):
+            repro.run(
+                GRAPH(), DeltaPageRankProgram(), engine="graphchi",
+                config=cfg, resume_from=ckpt,
+            )
+
+
+class TestOptionsValidation:
+    def test_negative_interval_rejected(self):
+        with pytest.raises(EngineError):
+            EngineOptions(checkpoint_every=-1).validate_for("multilogvc")
+
+    def test_bad_mode_rejected(self):
+        with pytest.raises(EngineError):
+            EngineOptions(checkpoint_mode="differential").validate_for("multilogvc")
+
+    def test_checkpointing_not_offered_by_baselines(self, cfg):
+        with pytest.raises(EngineError):
+            repro.run(
+                GRAPH(),
+                DeltaPageRankProgram(),
+                engine="graphchi",
+                config=cfg,
+                options=EngineOptions(checkpoint_every=2),
+            )
+
+
+class TestReconcileTraces:
+    class _Ev:
+        def __init__(self, kind, t_us, step, **fields):
+            self.kind, self.t_us, self.step, self.fields = kind, t_us, step, fields
+
+    def test_identical_traces_reconcile(self):
+        a = [self._Ev("superstep_end", 10.0, 2, pages=3)]
+        b = [self._Ev("superstep_end", 10.0, 2, pages=3)]
+        assert reconcile_traces(a, b, from_step=2) == []
+
+    def test_timestamp_divergence_is_reported(self):
+        a = [self._Ev("superstep_end", 10.0, 2)]
+        b = [self._Ev("superstep_end", 11.0, 2)]
+        (msg,) = reconcile_traces(a, b, from_step=2)
+        assert "t_us" in msg
+
+    def test_pre_cut_events_are_ignored(self):
+        a = [self._Ev("superstep_end", 1.0, 0), self._Ev("superstep_end", 10.0, 2)]
+        b = [self._Ev("superstep_end", 10.0, 2)]
+        assert reconcile_traces(a, b, from_step=2) == []

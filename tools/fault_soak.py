@@ -1,0 +1,157 @@
+#!/usr/bin/env python
+"""Randomized crash/recovery soak (nightly CI).
+
+Each trial draws a random workload (algorithm, checkpoint interval,
+checkpoint mode) and a random crash point over the run's device-batch
+timeline, then runs the full :func:`repro.recovery.crash_resume_experiment`
+protocol: baseline run, crashed run under an injected power loss,
+recovery from the newest surviving checkpoint, and bit-exact
+comparison of values / superstep records / run stats plus
+event-for-event trace reconciliation.
+
+A trial where the crash lands before the first checkpoint (nothing to
+recover) or after the run finished (fault never fires) counts as a
+benign outcome and is reported but not failed.
+
+On any exactness failure the trial's artifacts -- baseline and resumed
+traces as JSONL plus a report.txt -- are written under
+``--artifacts DIR/trial_NNN/`` for upload, and the process exits 1.
+
+Usage:
+    PYTHONPATH=src python tools/fault_soak.py --trials 25 --seed-base 0 \
+        --artifacts /tmp/soak-artifacts
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.config import small_test_config  # noqa: E402
+from repro.algorithms import BFSProgram, DeltaPageRankProgram, WCCProgram  # noqa: E402
+from repro.graph.datasets import small_rmat  # noqa: E402
+from repro.obs import write_jsonl  # noqa: E402
+from repro.options import EngineOptions  # noqa: E402
+from repro.recovery import count_device_ops, crash_resume_experiment  # noqa: E402
+
+WORKLOADS = {
+    "pagerank": (
+        lambda: small_rmat(n=256, m=2048, seed=3),
+        lambda: DeltaPageRankProgram(),
+        10,
+    ),
+    "bfs": (
+        lambda: small_rmat(n=256, m=2048, seed=3),
+        lambda: BFSProgram(source=0),
+        10,
+    ),
+    "wcc": (
+        lambda: small_rmat(n=256, m=2048, seed=3),
+        lambda: WCCProgram(),
+        10,
+    ),
+}
+
+
+def dump_failure(artifact_dir: Path, trial: int, params: dict, report) -> Path:
+    out = artifact_dir / f"trial_{trial:03d}"
+    out.mkdir(parents=True, exist_ok=True)
+    (out / "report.txt").write_text(
+        json.dumps(params, indent=2)
+        + "\n\n"
+        + report.describe()
+        + "\n\n"
+        + "\n".join(report.trace_mismatches)
+        + "\n"
+    )
+    if report.baseline is not None and report.baseline.trace:
+        write_jsonl(report.baseline.trace, out / "baseline_trace.jsonl")
+    if report.resumed is not None and report.resumed.trace:
+        write_jsonl(report.resumed.trace, out / "resumed_trace.jsonl")
+    return out
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--trials", type=int, default=25)
+    ap.add_argument("--seed-base", type=int, default=0,
+                    help="first trial seed (trial i uses seed-base + i)")
+    ap.add_argument("--artifacts", default="soak-artifacts", metavar="DIR",
+                    help="where failing trials dump traces for upload")
+    args = ap.parse_args()
+
+    cfg = small_test_config()
+    artifact_dir = Path(args.artifacts)
+    names = sorted(WORKLOADS)
+
+    # total device batches per (workload, options) combo, measured once
+    ops_cache = {}
+    failures = []
+    outcomes = {"exact": 0, "no_checkpoint": 0, "no_crash": 0}
+    t0 = time.time()
+
+    for trial in range(args.trials):
+        seed = args.seed_base + trial
+        rng = np.random.default_rng(seed)
+        name = names[int(rng.integers(len(names)))]
+        graph_f, prog_f, max_steps = WORKLOADS[name]
+        every = int(rng.integers(1, 4))
+        mode = "incremental" if rng.random() < 0.3 else "full"
+        options = EngineOptions(checkpoint_every=every, checkpoint_mode=mode)
+
+        key = (name, every, mode)
+        if key not in ops_cache:
+            ops_cache[key], _ = count_device_ops(
+                graph_f, prog_f, config=cfg, options=options,
+                seed=0, max_supersteps=max_steps,
+            )
+        crash_at = int(rng.integers(1, ops_cache[key] + 1))
+
+        params = {
+            "trial": trial, "seed": seed, "algorithm": name,
+            "checkpoint_every": every, "checkpoint_mode": mode,
+            "crash_after_ops": crash_at, "total_ops": ops_cache[key],
+        }
+        report = crash_resume_experiment(
+            graph_f, prog_f, config=cfg, options=options,
+            crash_after_ops=crash_at, fault_seed=seed, seed=0,
+            max_supersteps=max_steps,
+        )
+        if not report.crashed:
+            outcomes["no_crash"] += 1
+            status = "no-crash"
+        elif report.no_checkpoint:
+            outcomes["no_checkpoint"] += 1
+            status = "pre-checkpoint"
+        elif report.ok:
+            outcomes["exact"] += 1
+            status = "exact"
+        else:
+            status = "FAIL"
+            where = dump_failure(artifact_dir, trial, params, report)
+            failures.append((trial, params, where))
+        print(
+            f"trial {trial:3d}  {name:8s} every={every} mode={mode:11s} "
+            f"crash@{crash_at:3d}/{ops_cache[key]:3d}  {status}"
+        )
+
+    print(
+        f"\n{args.trials} trials in {time.time() - t0:.1f}s: "
+        f"{outcomes['exact']} exact, {outcomes['no_checkpoint']} pre-checkpoint, "
+        f"{outcomes['no_crash']} no-crash, {len(failures)} FAILED"
+    )
+    for trial, params, where in failures:
+        print(f"ERROR: trial {trial} ({params['algorithm']}) failed; "
+              f"artifacts in {where}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

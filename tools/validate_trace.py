@@ -1,0 +1,102 @@
+#!/usr/bin/env python
+"""Validate a JSONL engine trace (CI gate).
+
+Checks, in order:
+
+1. every line parses as a JSON object with the required envelope
+   (``kind`` string, ``t_us`` number, ``step`` integer);
+2. every ``kind`` is registered in :data:`repro.obs.TRACE_KINDS` --
+   an unknown kind means an emitter and the registry drifted apart;
+3. simulated timestamps are monotonically non-decreasing **within each
+   run segment**.  A trace file may concatenate several runs (the CLI
+   records every engine an experiment constructs) and the simulated
+   clock restarts at zero for each, so segments are delimited by
+   ``run_begin`` events and monotonicity is asserted per segment.
+
+Any violation prints the offending line number and exits non-zero.
+
+Usage:
+    PYTHONPATH=src python tools/validate_trace.py TRACE.jsonl [...]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.obs import TRACE_KINDS  # noqa: E402
+
+
+def validate_file(path: Path) -> list:
+    """Return a list of violation strings for one trace file."""
+    errors = []
+    last_t = None
+    segment_start = 0
+    n_events = 0
+    n_segments = 0
+    try:
+        lines = path.read_text().splitlines()
+    except OSError as exc:
+        return [f"{path}: unreadable: {exc}"]
+    for lineno, line in enumerate(lines, start=1):
+        if not line.strip():
+            errors.append(f"{path}:{lineno}: blank line in JSONL stream")
+            continue
+        try:
+            ev = json.loads(line)
+        except json.JSONDecodeError as exc:
+            errors.append(f"{path}:{lineno}: malformed JSON: {exc}")
+            continue
+        if not isinstance(ev, dict):
+            errors.append(f"{path}:{lineno}: not a JSON object: {type(ev).__name__}")
+            continue
+        kind, t_us, step = ev.get("kind"), ev.get("t_us"), ev.get("step")
+        if not isinstance(kind, str):
+            errors.append(f"{path}:{lineno}: missing/non-string 'kind'")
+            continue
+        if not isinstance(t_us, (int, float)) or isinstance(t_us, bool):
+            errors.append(f"{path}:{lineno}: missing/non-numeric 't_us'")
+            continue
+        if not isinstance(step, int) or isinstance(step, bool):
+            errors.append(f"{path}:{lineno}: missing/non-integer 'step'")
+            continue
+        if kind not in TRACE_KINDS:
+            errors.append(f"{path}:{lineno}: unknown event kind {kind!r}")
+            continue
+        n_events += 1
+        if kind == "run_begin":
+            # the simulated clock restarts with each run
+            last_t = None
+            segment_start = lineno
+            n_segments += 1
+        if last_t is not None and t_us < last_t:
+            errors.append(
+                f"{path}:{lineno}: t_us went backwards ({t_us} < {last_t}) "
+                f"within the run segment starting at line {segment_start}"
+            )
+        last_t = t_us
+    if n_events == 0 and not errors:
+        errors.append(f"{path}: trace is empty")
+    if not errors:
+        print(f"{path}: OK ({n_events} events, {max(n_segments, 1)} run segment(s))")
+    return errors
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("traces", nargs="+", metavar="TRACE.jsonl")
+    args = ap.parse_args()
+    all_errors = []
+    for p in args.traces:
+        all_errors.extend(validate_file(Path(p)))
+    for msg in all_errors:
+        print(f"ERROR: {msg}", file=sys.stderr)
+    return 1 if all_errors else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
