@@ -52,6 +52,7 @@ from .options import EngineOptions
 from .recovery import CheckpointData, CheckpointManager
 from .runner import ENGINES, resume, run
 from .ssd import ChannelDegradation, FaultPlan, FaultRule, RetryPolicy
+from .verify import OracleEngine, compare_results
 
 __version__ = "1.0.0"
 
@@ -92,5 +93,7 @@ __all__ = [
     "SimulatedCrashError",
     "EngineError",
     "ProgramError",
+    "OracleEngine",
+    "compare_results",
     "__version__",
 ]

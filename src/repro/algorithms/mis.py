@@ -97,6 +97,12 @@ class MISProgram(VertexProgram):
         if superstep % 2 == 1:
             self._pri = self._round_priorities(superstep // 2 + 1)
 
+    def prepare_resume(self, graph: CSRGraph, superstep: int, rng: np.random.Generator) -> None:
+        # Superstep s (either phase) uses the round-s//2 priorities: the
+        # round advances via on_superstep_end after each odd superstep.
+        self._n = graph.n
+        self._pri = self._round_priorities(superstep // 2)
+
 
 def is_independent_set(graph: CSRGraph, values: np.ndarray) -> bool:
     src, dst = graph.edge_array()

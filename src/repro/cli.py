@@ -287,6 +287,44 @@ def cmd_info(_args) -> int:
     return 0
 
 
+def cmd_verify(args) -> int:
+    from .verify import fuzz, replay_case, save_case, shrink
+    from .verify.shrinker import default_still_fails
+
+    if args.replay:
+        outcome = replay_case(args.replay)
+        print(outcome.describe())
+        return 0 if outcome.ok else 1
+
+    engines = args.engines.split(",") if args.engines else None
+    failures = []
+
+    def progress(outcome):
+        if not outcome.ok or not args.quiet:
+            print(outcome.describe())
+        if not outcome.ok:
+            failures.append(outcome)
+
+    outcomes = fuzz(args.seed, args.cases, engines=engines, progress=progress)
+    print(f"{len(outcomes)} cases, {len(failures)} failures (seed={args.seed})")
+    if failures and args.shrink:
+        for outcome in failures:
+            print(f"shrinking {outcome.case.case_id} ...")
+            try:
+                small = shrink(outcome.case, default_still_fails)
+            except ValueError:
+                print("  failure did not reproduce under shrinking; saving original")
+                small = outcome.case
+            path = save_case(
+                small,
+                args.save_dir,
+                mismatches=outcome.mismatches,
+                note=f"shrunk from {outcome.case.case_id} (seed={args.seed})",
+            )
+            print(f"  -> {small.graph.get('n', '?')} vertices, saved {path}")
+    return 1 if failures else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     p = argparse.ArgumentParser(
         prog="repro", description="MultiLogVC reproduction command line"
@@ -334,6 +372,23 @@ def build_parser() -> argparse.ArgumentParser:
                       help="record engine trace events and write them as JSONL")
     comp.set_defaults(func=cmd_compute)
     sub.add_parser("info", help="show configuration and datasets").set_defaults(func=cmd_info)
+    ver = sub.add_parser(
+        "verify",
+        help="differential conformance check: every engine vs the golden oracle",
+    )
+    ver.add_argument("--seed", type=int, default=0, help="fuzzer master seed")
+    ver.add_argument("--cases", type=int, default=25, help="number of cases to run")
+    ver.add_argument("--engines", default=None,
+                     help="comma list to restrict, e.g. multilogvc,graphchi")
+    ver.add_argument("--shrink", action="store_true",
+                     help="reduce each failure to a minimal repro and save it")
+    ver.add_argument("--save-dir", default="tests/cases", metavar="DIR",
+                     help="where --shrink writes repro JSON files (default: tests/cases)")
+    ver.add_argument("--replay", default=None, metavar="PATH",
+                     help="re-run one saved repro file instead of fuzzing")
+    ver.add_argument("-q", "--quiet", action="store_true",
+                     help="print failing cases only")
+    ver.set_defaults(func=cmd_verify)
     return p
 
 

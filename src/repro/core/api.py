@@ -249,6 +249,18 @@ class VertexProgram(ABC):
     def on_superstep_end(self, superstep: int, values: np.ndarray, rng: np.random.Generator) -> None:
         """Hook after each superstep (e.g. refresh per-round randomness)."""
 
+    def prepare_resume(self, graph, superstep: int, rng: np.random.Generator) -> None:
+        """Rebuild internal per-run state before resuming at ``superstep``.
+
+        Checkpoints capture the engine-side superstep cut, not Python
+        program objects, so a program resumed on a *fresh* instance never
+        saw :meth:`initial` or the earlier :meth:`on_superstep_end`
+        calls.  Programs whose process functions read internal state
+        (e.g. MIS round priorities) must reconstruct here exactly what
+        an uninterrupted run would hold when entering ``superstep``.
+        Stateless programs need not override this.
+        """
+
     def is_converged(self, values: np.ndarray) -> bool:
         """Optional extra convergence test checked between supersteps."""
         return False

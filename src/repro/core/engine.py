@@ -332,6 +332,9 @@ class MultiLogVC:
         self.fs.device.stats = ckpt.stats.snapshot()
         meter.time_us = float(ckpt.meter_time_us)
         rng.bit_generator.state = ckpt.rng_state
+        # Fresh program instances never saw initial(); let stateful
+        # programs rebuild their round state for the resume superstep.
+        self.program.prepare_resume(self.graph, ckpt.step + 1, rng)
         records = [
             SuperstepRecord(**{k: v for k, v in d.items() if k != "total_time_us"})
             for d in ckpt.records

@@ -130,6 +130,31 @@ class RunResult:
         t = self.total_time_us
         return self.storage_time_us / t if t > 0 else 0.0
 
+    def comparable(self) -> Dict[str, Any]:
+        """Oracle-comparable projection of this run (see :mod:`repro.verify`).
+
+        Strips everything storage-dependent (I/O pages, simulated time,
+        per-class stats) and keeps only the semantic outcome: normalised
+        final values (``+inf`` -> ``-1`` so unreached BFS/SSSP vertices
+        compare exactly), the superstep count, convergence, and the
+        per-superstep activity tuples every engine counts the same way.
+        """
+        return {
+            "values": np.nan_to_num(self.values, posinf=-1.0, neginf=-2.0),
+            "n_supersteps": self.n_supersteps,
+            "converged": self.converged,
+            "activity": [
+                (
+                    r.index,
+                    r.active_vertices,
+                    r.updates_processed,
+                    r.messages_sent,
+                    r.edges_scanned,
+                )
+                for r in self.supersteps
+            ],
+        }
+
     def activity_trace(self) -> np.ndarray:
         """Active-vertex counts per superstep (Fig. 2)."""
         return np.asarray([r.active_vertices for r in self.supersteps], dtype=np.int64)

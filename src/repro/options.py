@@ -132,6 +132,8 @@ RELEVANT_OPTIONS: Dict[str, FrozenSet[str]] = {
         }
     ),
     "graphchi": frozenset(),
+    # The in-memory golden oracle (repro.verify) has no tuning knobs.
+    "oracle": frozenset(),
     "grafboost": frozenset({"adapted", "merge_fanout"}),
     "gridgraph": frozenset({"intervals", "grid_p"}),
     "xstream": frozenset({"intervals", "grid_p"}),

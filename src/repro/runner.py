@@ -36,14 +36,17 @@ from .obs import MetricsRegistry, Tracer
 from .options import EngineOptions
 from .recovery.checkpoint import CheckpointData
 from .ssd.filesystem import SimFS
+from .verify.oracle import OracleEngine
 
 #: Engine name -> class, the registry behind ``engine="..."``.
+#: ``oracle`` is the in-memory golden reference from :mod:`repro.verify`.
 ENGINES = {
     "multilogvc": MultiLogVC,
     "graphchi": GraphChi,
     "grafboost": GraFBoost,
     "gridgraph": GridGraph,
     "xstream": XStream,
+    "oracle": OracleEngine,
 }
 
 #: Signature of the per-superstep progress hook.

@@ -1,0 +1,32 @@
+"""Conformance subsystem: golden oracle, differential fuzzer, shrinker.
+
+See DESIGN.md §9.  Entry points:
+
+* :class:`OracleEngine` -- trusted in-memory reference engine
+  (also registered as ``engine="oracle"`` in :func:`repro.run`);
+* :func:`compare_results` -- oracle-vs-engine semantic diff;
+* :func:`fuzz` / :func:`run_case` -- seeded differential fuzzing over
+  adversarial graphs and the engine config matrix;
+* :func:`shrink` / :func:`save_case` / :func:`load_case` /
+  :func:`replay_case` -- failing-case minimisation and the
+  ``tests/cases/*.json`` regression format.
+"""
+
+from .compare import compare_results
+from .fuzzer import CaseOutcome, ConformanceCase, fuzz, generate_cases, run_case
+from .oracle import OracleEngine
+from .shrinker import load_case, replay_case, save_case, shrink
+
+__all__ = [
+    "OracleEngine",
+    "compare_results",
+    "ConformanceCase",
+    "CaseOutcome",
+    "fuzz",
+    "generate_cases",
+    "run_case",
+    "shrink",
+    "save_case",
+    "load_case",
+    "replay_case",
+]

@@ -1,0 +1,553 @@
+"""Seeded differential fuzzer: adversarial graphs x engine config matrix.
+
+Every case is a fully serialisable ``(graph spec, program, engine,
+options, config, scenario)`` tuple.  :func:`run_case` builds fresh
+inputs (engines may mutate host-side state, and programs like MIS carry
+internal round state), runs the golden oracle and the engine under
+test, and diffs them with :func:`~repro.verify.compare.compare_results`.
+
+Case generation is deterministic: case ``i`` of master seed ``s`` is
+derived from ``default_rng([s, i])`` and nothing else, so any failing
+case can be regenerated from ``(seed, index)`` alone and the shrinker
+can replay candidates cheaply.
+
+Engine eligibility encodes the engines' documented contracts rather
+than hiding bugs:
+
+* GridGraph / XStream require a combine operator (streaming
+  accumulation), so they only receive mergeable programs;
+* GraFBoost runs non-mergeable programs only in its §VIII adapted mode
+  (``adapted=True``), which the generator forces;
+* GraphChi messages live in per-edge slots (one message per edge per
+  superstep, Fig. 1b), so its graphs are deduplicated -- parallel edges
+  cannot carry independent messages in that model;
+* asynchronous MultiLogVC consumes same-superstep updates, so async
+  cases use monotone min-combine programs (BFS/WCC/SSSP) and compare
+  final values only (superstep schedules legitimately differ).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from .. import algorithms as alg
+from ..config import MemoryConfig, SimConfig, SSDConfig
+from ..core.results import RunResult
+from ..errors import RecoveryError, SimulatedCrashError
+from ..graph.csr import CSRGraph
+from ..graph.generators import chain_edges, ring_edges, rmat_edges, star_edges
+from ..options import EngineOptions
+from ..recovery.checkpoint import CheckpointManager
+from ..ssd.faults import FaultPlan, FaultRule
+from ..ssd.filesystem import SimFS
+from .compare import compare_results
+from .oracle import OracleEngine
+
+#: Programs safe to run under asynchronous delivery: monotone min-combine
+#: fixed points, where the arrival schedule cannot change the result.
+MONOTONE_PROGRAMS = frozenset({"bfs", "wcc", "sssp"})
+
+#: Programs each engine can execute (engine contracts, see module doc).
+ENGINE_PROGRAMS: Dict[str, Sequence[str]] = {
+    "multilogvc": ("bfs", "pagerank", "wcc", "sssp", "cdlp", "coloring", "mis", "randomwalk"),
+    "graphchi": ("bfs", "pagerank", "wcc", "sssp", "cdlp", "coloring", "mis", "randomwalk"),
+    "grafboost": ("bfs", "pagerank", "wcc", "sssp", "cdlp", "coloring", "mis", "randomwalk"),
+    "gridgraph": ("bfs", "pagerank", "wcc", "sssp"),
+    "xstream": ("bfs", "pagerank", "wcc", "sssp"),
+}
+
+#: Round-robin engine schedule; MultiLogVC appears every other case so
+#: the checkpoint/resume and fault scenarios get enough air time.
+ENGINE_CYCLE = (
+    "multilogvc", "graphchi", "multilogvc", "grafboost",
+    "multilogvc", "gridgraph", "multilogvc", "xstream",
+)
+
+#: Scenario schedule for MultiLogVC cases (round-robin, so a 25-case
+#: quick pass exercises every scenario).
+MLVC_SCENARIOS = ("plain", "resume", "crash_resume", "transient_fault")
+
+GRAPH_KINDS = ("rmat", "rmat_multi", "star", "chain", "ring", "two_comp")
+
+
+@dataclass
+class ConformanceCase:
+    """One fully-specified differential check, JSON-serialisable."""
+
+    case_id: str
+    engine: str
+    program: str
+    prog_params: Dict[str, Any]
+    graph: Dict[str, Any]
+    options: Dict[str, Any]
+    config: Dict[str, Any]
+    scenario: str = "plain"
+    scenario_params: Dict[str, Any] = field(default_factory=dict)
+    max_supersteps: int = 15
+    seed: int = 0
+    compare: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "case_id": self.case_id,
+            "engine": self.engine,
+            "program": self.program,
+            "prog_params": self.prog_params,
+            "graph": self.graph,
+            "options": self.options,
+            "config": self.config,
+            "scenario": self.scenario,
+            "scenario_params": self.scenario_params,
+            "max_supersteps": self.max_supersteps,
+            "seed": self.seed,
+            "compare": self.compare,
+        }
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, Any]) -> "ConformanceCase":
+        return cls(**{k: d[k] for k in cls.__dataclass_fields__ if k in d})
+
+    def describe(self) -> str:
+        bits = [self.case_id, self.engine, self.program, f"graph={self.graph.get('kind')}"]
+        if self.scenario != "plain":
+            bits.append(self.scenario)
+        if self.options:
+            bits.append(",".join(f"{k}={v}" for k, v in sorted(self.options.items())))
+        return " ".join(bits)
+
+
+@dataclass
+class CaseOutcome:
+    """What happened when a case ran."""
+
+    case: ConformanceCase
+    mismatches: List[str] = field(default_factory=list)
+    error: Optional[str] = None
+    note: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return not self.mismatches and self.error is None
+
+    def describe(self) -> str:
+        status = "ok" if self.ok else "FAIL"
+        tail = ""
+        if self.error:
+            tail = f" error: {self.error}"
+        elif self.mismatches:
+            tail = f" {self.mismatches[0]}"
+        if self.note:
+            tail += f" [{self.note}]"
+        return f"{status} {self.case.describe()}{tail}"
+
+
+# -- builders ----------------------------------------------------------------
+
+
+def build_graph(spec: Dict[str, Any]) -> CSRGraph:
+    """Materialise a graph spec (fresh arrays every call)."""
+    kind = spec["kind"]
+    if kind == "explicit":
+        w = spec.get("weights")
+        return CSRGraph.from_edges(
+            int(spec["n"]),
+            np.asarray(spec["src"], dtype=np.int64),
+            np.asarray(spec["dst"], dtype=np.int64),
+            weights=None if w is None else np.asarray(w, dtype=np.float64),
+        )
+    seed = int(spec["seed"])
+    if kind in ("rmat", "rmat_multi", "two_comp"):
+        n0, m0 = int(spec["n"]), int(spec["m"])
+        if kind == "two_comp":
+            # Two disjoint power-law components (plus the optional
+            # isolated tail below): no path between the halves.
+            na, sa, ta = rmat_edges(max(4, n0 // 2), max(2, m0 // 2), seed=seed)
+            nb, sb, tb = rmat_edges(max(4, n0 - na), max(2, m0 - m0 // 2), seed=seed + 1)
+            n = na + nb
+            src = np.concatenate([sa, sb + na])
+            dst = np.concatenate([ta, tb + na])
+        else:
+            n, src, dst = rmat_edges(
+                n0, m0, seed=seed, self_loops=bool(spec.get("self_loops", False))
+            )
+    elif kind == "star":
+        n, src, dst = star_edges(int(spec["n"]))
+    elif kind == "chain":
+        n, src, dst = chain_edges(int(spec["n"]))
+    elif kind == "ring":
+        n, src, dst = ring_edges(int(spec["n"]))
+    else:
+        raise ValueError(f"unknown graph kind {kind!r}")
+    pad = int(spec.get("pad", 0))  # isolated tail: empty vertex intervals
+    n += pad
+    weights = None
+    if spec.get("weighted", False):
+        rng = np.random.default_rng([seed, 0xBEEF])
+        weights = rng.uniform(0.1, 2.0, size=src.shape[0])
+    return CSRGraph.from_edges(
+        n, src, dst,
+        weights=weights,
+        symmetrize=bool(spec.get("symmetrize", True)),
+        dedup=bool(spec.get("dedup", False)),
+    )
+
+
+def explicit_spec(spec: Dict[str, Any]) -> Dict[str, Any]:
+    """Convert any graph spec to an explicit edge-list spec (the
+    shrinker's working form; round-trips through :func:`build_graph`)."""
+    if spec["kind"] == "explicit":
+        return dict(spec)
+    g = build_graph(spec)
+    src, dst = g.edge_array()
+    return {
+        "kind": "explicit",
+        "n": int(g.n),
+        "src": [int(x) for x in src],
+        "dst": [int(x) for x in dst],
+        "weights": None if g.weights is None else [float(x) for x in g.weights],
+    }
+
+
+_PROGRAM_FACTORIES: Dict[str, Callable[[Dict[str, Any]], Any]] = {
+    "bfs": lambda p: alg.BFSProgram(source=p.get("source", 0)),
+    "pagerank": lambda p: alg.DeltaPageRankProgram(threshold=p.get("threshold", 0.01)),
+    "wcc": lambda p: alg.WCCProgram(),
+    "sssp": lambda p: alg.SSSPProgram(source=p.get("source", 0)),
+    "cdlp": lambda p: alg.CommunityDetectionProgram(),
+    "coloring": lambda p: alg.GraphColoringProgram(seed=p.get("seed", 0)),
+    "mis": lambda p: alg.MISProgram(seed=p.get("seed", 0)),
+    "randomwalk": lambda p: alg.RandomWalkProgram(
+        source_stride=p.get("source_stride", 13),
+        walkers_per_source=p.get("walkers_per_source", 2),
+        max_steps=p.get("max_steps", 5),
+        seed=p.get("seed", 0),
+    ),
+}
+
+
+def build_program(case: ConformanceCase):
+    """Fresh program instance (programs carry per-run internal state)."""
+    return _PROGRAM_FACTORIES[case.program](case.prog_params)
+
+
+def build_config(cdict: Dict[str, Any]) -> SimConfig:
+    return SimConfig(
+        ssd=SSDConfig(
+            page_size=int(cdict.get("page_size", 4096)),
+            channels=int(cdict.get("channels", 4)),
+        ),
+        memory=MemoryConfig(total_bytes=int(cdict.get("total_bytes", 256 * 1024))),
+        pipeline_depth=int(cdict.get("pipeline_depth", 1)),
+    )
+
+
+def build_options(case: ConformanceCase) -> Optional[EngineOptions]:
+    if not case.options:
+        return None
+    return EngineOptions(**case.options)
+
+
+# -- execution ---------------------------------------------------------------
+
+
+def run_oracle(case: ConformanceCase) -> RunResult:
+    return OracleEngine(
+        build_graph(case.graph), build_program(case), build_config(case.config)
+    ).run(max_supersteps=case.max_supersteps, seed=case.seed)
+
+
+def _engine_run(case: ConformanceCase, fs: Optional[SimFS] = None) -> RunResult:
+    # Deferred: repro.runner registers the oracle from this package, so a
+    # module-level import here would be circular.
+    from ..runner import run as run_engine
+
+    return run_engine(
+        build_graph(case.graph),
+        build_program(case),
+        engine=case.engine,
+        config=build_config(case.config),
+        options=build_options(case),
+        fs=fs,
+        max_supersteps=case.max_supersteps,
+        seed=case.seed,
+    )
+
+
+def run_case(case: ConformanceCase) -> CaseOutcome:
+    """Run one differential check; never raises for engine misbehaviour."""
+    outcome = CaseOutcome(case=case)
+    try:
+        oracle = run_oracle(case)
+    except Exception as exc:  # oracle failure is a harness bug, surface it
+        outcome.error = f"oracle raised {type(exc).__name__}: {exc}"
+        return outcome
+
+    cfg = build_config(case.config)
+    try:
+        if case.scenario == "plain":
+            result = _engine_run(case)
+        elif case.scenario == "transient_fault":
+            fs = SimFS(cfg)
+            fs.device.install_faults(
+                FaultPlan(
+                    [
+                        FaultRule(
+                            op=case.scenario_params.get("op", "read"),
+                            kind="error",
+                            after_ops=int(case.scenario_params.get("after_ops", 5)),
+                            transient=True,
+                        )
+                    ],
+                    seed=case.seed,
+                )
+            )
+            result = _engine_run(case, fs=fs)
+        elif case.scenario == "resume":
+            # Clean mid-run checkpoint + resume: the resumed run must
+            # reproduce the full oracle outcome (records included).
+            fs = SimFS(cfg)
+            result = _engine_run(case, fs=fs)
+            try:
+                ckpt = CheckpointManager.load_latest(fs)
+            except RecoveryError:
+                outcome.note = "converged before first checkpoint; compared direct run"
+            else:
+                from ..runner import resume as resume_engine
+
+                result = resume_engine(
+                    build_graph(case.graph),
+                    build_program(case),
+                    ckpt,
+                    config=cfg,
+                    options=build_options(case),
+                    max_supersteps=case.max_supersteps,
+                    seed=case.seed,
+                )
+                outcome.note = f"resumed from superstep {ckpt.step}"
+        elif case.scenario == "crash_resume":
+            # Pass 1: count the run's I/O batches under an empty plan
+            # (same serial operation order a real plan sees), so the
+            # crash point can be placed as a fraction of the whole run.
+            fs0 = SimFS(cfg)
+            fs0.device.install_faults(FaultPlan([]))
+            _engine_run(case, fs=fs0)
+            total_ops = fs0.device.fault_plan.ops_seen
+            frac = float(case.scenario_params.get("frac", 0.5))
+            after_ops = max(1, min(total_ops - 1, int(frac * total_ops)))
+            fs = SimFS(cfg)
+            fs.device.install_faults(FaultPlan.crash_after(after_ops, seed=case.seed))
+            crashed = False
+            try:
+                result = _engine_run(case, fs=fs)
+            except SimulatedCrashError:
+                crashed = True
+            if crashed:
+                try:
+                    ckpt = CheckpointManager.load_latest(fs)
+                except RecoveryError:
+                    # Crash preceded the first checkpoint: recovery is a
+                    # from-scratch rerun, which must still match.
+                    result = _engine_run(case)
+                    outcome.note = "crash before first checkpoint; compared fresh rerun"
+                else:
+                    from ..runner import resume as resume_engine
+
+                    result = resume_engine(
+                        build_graph(case.graph),
+                        build_program(case),
+                        ckpt,
+                        config=cfg,
+                        options=build_options(case),
+                        max_supersteps=case.max_supersteps,
+                        seed=case.seed,
+                    )
+                    outcome.note = f"crashed, resumed from superstep {ckpt.step}"
+            else:
+                outcome.note = "run finished before the crash point"
+        else:
+            outcome.error = f"unknown scenario {case.scenario!r}"
+            return outcome
+    except Exception as exc:
+        outcome.error = f"{type(exc).__name__}: {exc}"
+        return outcome
+
+    outcome.mismatches = compare_results(
+        oracle,
+        result,
+        atol=float(case.compare.get("atol", 0.0)),
+        check_supersteps=bool(case.compare.get("check_supersteps", True)),
+        check_records=bool(case.compare.get("check_records", True)),
+    )
+    return outcome
+
+
+# -- generation --------------------------------------------------------------
+
+
+def _graph_spec(rng: np.random.Generator, engine: str, program: str) -> Dict[str, Any]:
+    kind = GRAPH_KINDS[int(rng.integers(0, len(GRAPH_KINDS)))]
+    n = int(rng.integers(8, 64))
+    spec: Dict[str, Any] = {"kind": kind, "seed": int(rng.integers(0, 2**31))}
+    if kind in ("rmat", "rmat_multi", "two_comp"):
+        spec["n"] = n
+        spec["m"] = int(rng.integers(n, 6 * n))
+        spec["self_loops"] = bool(rng.integers(0, 2))
+        # The multi-edge variant keeps whatever duplicates the generator
+        # emits; GraphChi always gets a simple graph below (its per-edge
+        # message slots cannot carry parallel-edge deliveries).
+        spec["dedup"] = kind != "rmat_multi"
+        if kind == "rmat_multi":
+            spec["kind"] = "rmat"
+    else:
+        spec["n"] = max(n, 8)
+        spec["dedup"] = False
+        spec["self_loops"] = False
+    if engine == "graphchi":
+        spec["dedup"] = True
+    spec["symmetrize"] = bool(rng.integers(0, 4) > 0)  # mostly undirected
+    if program in ("cdlp", "coloring"):
+        # Edge-state programs key their per-edge tables by out-neighbor
+        # (updates arrive along in-edges), so they require symmetric graphs.
+        spec["symmetrize"] = True
+    if rng.integers(0, 3) == 0:
+        spec["pad"] = int(rng.integers(1, 2 * n))  # isolated tail vertices
+    spec["weighted"] = program == "sssp"
+    return spec
+
+
+def _spec_n_vertices(spec: Dict[str, Any]) -> int:
+    if spec["kind"] == "explicit":
+        return int(spec["n"])
+    base = int(spec["n"])
+    if spec["kind"] == "two_comp":
+        base = max(4, base // 2) + max(4, base - max(4, base // 2))
+    return base + int(spec.get("pad", 0))
+
+
+def _config_dict(rng: np.random.Generator) -> Dict[str, Any]:
+    page = int(rng.choice([1024, 2048, 4096]))
+    # multilog buffer (5% of total) must hold at least one page.
+    total = page * int(rng.integers(24, 80))
+    return {
+        "page_size": page,
+        "total_bytes": total,
+        "channels": int(rng.choice([1, 2, 4])),
+        "pipeline_depth": int(rng.choice([0, 1, 2])),
+    }
+
+
+def generate_case(master_seed: int, index: int) -> ConformanceCase:
+    """Deterministically derive case ``index`` of ``master_seed``."""
+    rng = np.random.default_rng([master_seed, index])
+    engine = ENGINE_CYCLE[index % len(ENGINE_CYCLE)]
+    program = str(rng.choice(ENGINE_PROGRAMS[engine]))
+    graph = _graph_spec(rng, engine, program)
+    n_total = _spec_n_vertices(graph)
+
+    prog_params: Dict[str, Any] = {}
+    if program in ("bfs", "sssp"):
+        prog_params["source"] = int(rng.integers(0, n_total))
+    if program in ("coloring", "mis", "randomwalk"):
+        prog_params["seed"] = int(rng.integers(0, 1000))
+    if program == "randomwalk":
+        prog_params["source_stride"] = int(rng.choice([7, 13]))
+    if program == "pagerank":
+        prog_params["threshold"] = float(rng.choice([0.01, 0.001]))
+
+    options: Dict[str, Any] = {}
+    scenario = "plain"
+    scenario_params: Dict[str, Any] = {}
+    compare: Dict[str, Any] = {}
+    if engine == "multilogvc":
+        mlvc_index = index // 2  # every other case is multilogvc
+        scenario = MLVC_SCENARIOS[mlvc_index % len(MLVC_SCENARIOS)]
+        if rng.integers(0, 2):
+            options["min_intervals"] = int(rng.choice([2, 4, 7]))
+        if rng.integers(0, 4) == 0:
+            options["enable_fusing"] = False
+        if rng.integers(0, 4) == 0:
+            options["enable_edgelog"] = False
+        if scenario in ("resume", "crash_resume"):
+            options["checkpoint_every"] = int(rng.choice([1, 2, 3]))
+            if rng.integers(0, 2):
+                options["checkpoint_mode"] = "incremental"
+        elif scenario == "plain":
+            if program in MONOTONE_PROGRAMS and rng.integers(0, 3) == 0:
+                options["mode"] = "async"
+                # Async schedules legitimately differ; the monotone
+                # fixed point (final values) is the invariant.
+                compare = {"check_supersteps": False, "check_records": False}
+            elif rng.integers(0, 3) == 0:
+                options["checkpoint_every"] = 2  # checkpointing must not perturb
+        if scenario == "crash_resume":
+            # Fraction of the run's total I/O batches (counted at run
+            # time) after which power is cut -- guarantees the crash
+            # lands inside the run regardless of graph/config scale.
+            scenario_params["frac"] = round(float(rng.uniform(0.15, 0.9)), 3)
+        if scenario == "transient_fault":
+            scenario_params["after_ops"] = int(rng.integers(1, 40))
+            scenario_params["op"] = str(rng.choice(["read", "write"]))
+    elif engine == "grafboost":
+        prog = _PROGRAM_FACTORIES[program]({})
+        if prog.combine is None:
+            options["adapted"] = True
+        elif rng.integers(0, 3) == 0:
+            options["merge_fanout"] = int(rng.choice([2, 4]))
+    elif engine in ("gridgraph", "xstream"):
+        if rng.integers(0, 2):
+            options["grid_p"] = int(rng.choice([2, 3, 5]))
+
+    return ConformanceCase(
+        case_id=f"s{master_seed}-{index:03d}",
+        engine=engine,
+        program=program,
+        prog_params=prog_params,
+        graph=graph,
+        options=options,
+        config=_config_dict(rng),
+        scenario=scenario,
+        scenario_params=scenario_params,
+        max_supersteps=int(rng.choice([6, 10, 15, 20])),
+        seed=int(rng.integers(0, 100)),
+        compare=compare,
+    )
+
+
+def generate_cases(
+    seed: int, n_cases: int, engines: Optional[Sequence[str]] = None
+) -> List[ConformanceCase]:
+    """The first ``n_cases`` cases of ``seed`` (optionally engine-filtered).
+
+    Filtering keeps each case's identity (``index`` still seeds its rng)
+    so ``--engines`` never changes what any individual case contains.
+    """
+    out: List[ConformanceCase] = []
+    index = 0
+    while len(out) < n_cases:
+        case = generate_case(seed, index)
+        index += 1
+        if engines is not None and case.engine not in engines:
+            if index > 64 * n_cases:  # engine filter matched nothing
+                break
+            continue
+        out.append(case)
+    return out
+
+
+def fuzz(
+    seed: int,
+    n_cases: int,
+    engines: Optional[Sequence[str]] = None,
+    progress: Optional[Callable[[CaseOutcome], None]] = None,
+) -> List[CaseOutcome]:
+    """Generate and run ``n_cases`` differential checks."""
+    outcomes = []
+    for case in generate_cases(seed, n_cases, engines=engines):
+        outcome = run_case(case)
+        if progress is not None:
+            progress(outcome)
+        outcomes.append(outcome)
+    return outcomes

@@ -1,0 +1,38 @@
+"""Auto-replay of the saved repro corpus in ``tests/cases/``.
+
+Every ``*.json`` file there is a :class:`~repro.verify.ConformanceCase`
+written by :func:`repro.verify.save_case` -- either a seed corpus of
+adversarial shapes that must stay conformant, or a shrunken repro of a
+bug that has since been fixed.  Each is replayed against the golden
+oracle; a regression reopens the original mismatch here by name.
+
+Add new repros with::
+
+    python -m repro verify --seed N --cases M --shrink --save-dir tests/cases
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.verify import replay_case
+
+CASES_DIR = Path(__file__).parent / "cases"
+CASE_FILES = sorted(CASES_DIR.glob("*.json"))
+
+
+def test_corpus_is_present():
+    assert CASE_FILES, f"no saved cases in {CASES_DIR}"
+
+
+@pytest.mark.parametrize("path", CASE_FILES, ids=lambda p: p.stem)
+def test_saved_case_replays_clean(path):
+    outcome = replay_case(str(path))
+    note = json.loads(path.read_text()).get("note", "")
+    assert outcome.ok, (
+        f"saved repro {path.name} regressed ({note}): "
+        f"{outcome.error or outcome.mismatches}"
+    )

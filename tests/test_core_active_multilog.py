@@ -203,3 +203,86 @@ class TestMultiLogUnit:
         assert mlog.total_messages == 0
         assert mlog.pages_buffered == 0
         assert mlog.consume([0, 1, 2]).n == 0
+
+
+class TestBulkAppendEdgeCases:
+    """Batch-append (ingest / _append_bulk) boundary conditions.
+
+    The bulk path must behave exactly like record-at-a-time sends at
+    every page boundary: an empty batch is a no-op, a batch exactly
+    filling a page does not force a partial page, a batch spanning a
+    page boundary splits without loss or reorder, and degenerate
+    single-vertex intervals still route correctly.
+    """
+
+    def test_empty_batch_is_a_noop(self, mlog):
+        before = mlog.appended
+        mlog.ingest(UpdateBatch.empty())
+        mlog.ingest(None)
+        assert mlog.appended == before
+        assert mlog.total_messages == 0
+        assert mlog.pages_buffered == 0
+
+    def test_batch_exactly_filling_a_page(self, cfg, intervals):
+        fs = SimFS(cfg)
+        budget = MemoryBudget.resolve(cfg, intervals.n_intervals)
+        m = MultiLogUnit(fs, intervals, cfg, budget, "m")
+        rpp = cfg.updates_per_page
+        # All records to one interval: exactly one page worth.
+        batch = UpdateBatch.of(
+            np.full(rpp, 5), np.arange(rpp), np.arange(rpp, dtype=np.float64)
+        )
+        m.ingest(batch)
+        assert m.total_messages == rpp
+        out = m.consume([0])
+        assert out.n == rpp
+        # Arrival order within the interval is preserved (the FIFO the
+        # engines' bit-exact update ordering rests on).
+        assert np.array_equal(out.src, np.arange(rpp))
+        assert np.array_equal(out.data, np.arange(rpp, dtype=np.float64))
+
+    def test_batch_spanning_page_boundary(self, cfg, intervals):
+        fs = SimFS(cfg)
+        budget = MemoryBudget.resolve(cfg, intervals.n_intervals)
+        m = MultiLogUnit(fs, intervals, cfg, budget, "m")
+        rpp = cfg.updates_per_page
+        n = rpp + 3  # one full page plus a partial
+        batch = UpdateBatch.of(
+            np.full(n, 12), np.arange(n), np.arange(n, dtype=np.float64)
+        )
+        m.ingest(batch)
+        assert m.total_messages == n
+        out = m.consume([1])
+        assert out.n == n
+        assert np.array_equal(out.src, np.arange(n))
+
+    def test_interleaved_intervals_keep_per_interval_order(self, mlog):
+        # Alternate destinations across intervals; each interval must
+        # see its own records in arrival order after the bulk append.
+        dests = np.array([5, 15, 5, 35, 15, 5], dtype=np.int64)
+        srcs = np.arange(6, dtype=np.int64)
+        mlog.ingest(UpdateBatch.of(dests, srcs, srcs.astype(np.float64)))
+        out0 = mlog.consume([0])
+        assert out0.src.tolist() == [0, 2, 5]
+        out1 = mlog.consume([1])
+        assert out1.src.tolist() == [1, 4]
+        out2 = mlog.consume([2])
+        assert out2.src.tolist() == [3]
+
+    def test_single_vertex_intervals(self, cfg):
+        # Degenerate partition: every interval holds exactly one vertex.
+        intervals = VertexIntervals(np.array([0, 1, 2, 3, 4]))
+        fs = SimFS(cfg)
+        budget = MemoryBudget.resolve(cfg, intervals.n_intervals)
+        m = MultiLogUnit(fs, intervals, cfg, budget, "m")
+        dests = np.array([3, 0, 3, 2, 0], dtype=np.int64)
+        m.ingest(UpdateBatch.of(dests, np.arange(5), np.arange(5, dtype=np.float64)))
+        assert m.message_count(0) == 2
+        assert m.message_count(2) == 1
+        assert m.message_count(3) == 2
+        assert m.message_count(1) == 0
+        out = m.consume([3])
+        assert (out.dest == 3).all()
+        assert out.src.tolist() == [0, 2]
+        # Empty interval consumes cleanly.
+        assert m.consume([1]).n == 0

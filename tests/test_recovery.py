@@ -33,8 +33,15 @@ ALGORITHMS = {
 }
 
 
+@pytest.mark.slow
 class TestCrashRecoveryDeterminism:
-    """The tentpole guarantee, for three algorithms at random crash points."""
+    """The tentpole guarantee, for three algorithms at random crash points.
+
+    Heaviest recovery sweep in the suite (6 crash/resume experiments per
+    algorithm), so it runs behind ``-m slow``; CI includes it in the
+    dedicated slow step, and `tests/test_conformance.py` plus the quick
+    ``repro verify`` pass keep crash/resume covered in tier-1.
+    """
 
     @pytest.mark.parametrize("alg", sorted(ALGORITHMS))
     def test_random_crash_points_recover_exactly(self, cfg, alg):
@@ -269,3 +276,75 @@ class TestReconcileTraces:
         a = [self._Ev("superstep_end", 1.0, 0), self._Ev("superstep_end", 10.0, 2)]
         b = [self._Ev("superstep_end", 10.0, 2)]
         assert reconcile_traces(a, b, from_step=2) == []
+
+
+class TestPartialCheckpointWindow:
+    """Resume when checkpoint_every does not divide the superstep count.
+
+    With checkpoint_every=3 and an 8-superstep run, the final window is
+    partial: the newest checkpoint cuts at a step that is NOT the last
+    one.  Resuming from it must replay the tail supersteps and land on
+    the uninterrupted run bit-for-bit -- values, records, and stats.
+    """
+
+    EVERY = 3
+    STEPS = 8
+
+    def _run(self, cfg, fs=None):
+        eng = MultiLogVC(
+            GRAPH(),
+            DeltaPageRankProgram(),
+            cfg,
+            fs=fs,
+            options=EngineOptions(checkpoint_every=self.EVERY),
+        )
+        return eng, eng.run(self.STEPS)
+
+    def test_latest_checkpoint_cuts_mid_window(self, cfg):
+        eng, baseline = self._run(cfg)
+        assert baseline.n_supersteps == self.STEPS  # cap hit, not converged
+        ckpt = CheckpointManager.load_latest(eng.fs)
+        # Newest cut is the last full window boundary, strictly before
+        # the final superstep (8 % 3 != 0).
+        assert ckpt.step == (self.STEPS // self.EVERY) * self.EVERY - 1
+        assert ckpt.step < self.STEPS - 1
+
+    def test_resume_replays_partial_tail_exactly(self, cfg):
+        eng, baseline = self._run(cfg)
+        ckpt = CheckpointManager.load_latest(eng.fs)
+        resumed = repro.resume(
+            GRAPH(),
+            DeltaPageRankProgram(),
+            ckpt,
+            config=cfg,
+            options=EngineOptions(checkpoint_every=self.EVERY),
+            max_supersteps=self.STEPS,
+        )
+        assert resumed.values.tobytes() == baseline.values.tobytes()
+        assert [r.to_dict() for r in resumed.supersteps] == [
+            r.to_dict() for r in baseline.supersteps
+        ]
+        assert resumed.stats.to_dict() == baseline.stats.to_dict()
+
+    def test_converged_run_with_partial_window(self, cfg):
+        """Convergence inside a window: resume still reproduces the run."""
+        eng = MultiLogVC(
+            GRAPH(),
+            BFSProgram(source=0),
+            cfg,
+            options=EngineOptions(checkpoint_every=self.EVERY),
+        )
+        baseline = eng.run(15)
+        assert baseline.converged
+        ckpt = CheckpointManager.load_latest(eng.fs)
+        resumed = repro.resume(
+            GRAPH(),
+            BFSProgram(source=0),
+            ckpt,
+            config=cfg,
+            options=EngineOptions(checkpoint_every=self.EVERY),
+            max_supersteps=15,
+        )
+        assert resumed.converged == baseline.converged
+        assert resumed.values.tobytes() == baseline.values.tobytes()
+        assert resumed.n_supersteps == baseline.n_supersteps

@@ -1,0 +1,130 @@
+"""The golden oracle: trusted reference semantics and the semantic diff.
+
+The oracle is plain in-memory message passing -- no SSD, multi-log, or
+pipeline machinery -- sharing the engine constructor protocol, so every
+engine can be differentially checked against it (DESIGN.md §9).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+from repro.algorithms import (
+    BFSProgram,
+    CommunityDetectionProgram,
+    DeltaPageRankProgram,
+    GraphColoringProgram,
+    MISProgram,
+    SSSPProgram,
+    WCCProgram,
+)
+from repro.core.api import InitialState, VertexProgram
+from repro.errors import ProgramError
+from repro.graph.csr import CSRGraph
+from repro.graph.datasets import small_rmat, small_star
+from repro.verify import OracleEngine, compare_results
+
+ALL_ENGINES = ("multilogvc", "graphchi", "grafboost", "gridgraph", "xstream")
+MERGEABLE = {"bfs": BFSProgram, "pagerank": DeltaPageRankProgram, "wcc": WCCProgram}
+
+
+def test_oracle_registered_as_engine(cfg):
+    assert repro.ENGINES["oracle"] is OracleEngine
+    g = small_rmat(n=64, m=256, seed=1)
+    result = repro.run(g, BFSProgram(source=0), engine="oracle", config=cfg)
+    assert result.engine == "oracle"
+    assert result.converged
+    # The oracle reports no storage at all: it never touches the SSD.
+    assert result.pages_read == 0 and result.pages_written == 0
+    assert result.storage_time_us == 0.0
+
+
+@pytest.mark.parametrize("engine", ALL_ENGINES)
+@pytest.mark.parametrize("prog_name", sorted(MERGEABLE))
+def test_every_engine_matches_oracle_bit_exactly(cfg, engine, prog_name):
+    g = small_rmat(n=96, m=512, seed=3)
+    oracle = repro.run(g, MERGEABLE[prog_name](), engine="oracle", config=cfg)
+    other = repro.run(g, MERGEABLE[prog_name](), engine=engine, config=cfg)
+    assert compare_results(oracle, other) == []
+
+
+@pytest.mark.parametrize("engine", ("multilogvc", "graphchi"))
+def test_stateful_programs_match_oracle(cfg, engine):
+    g = small_star(n=40)
+    for prog_f in (CommunityDetectionProgram, lambda: MISProgram(seed=5),
+                   lambda: GraphColoringProgram(seed=2)):
+        oracle = repro.run(g, prog_f(), engine="oracle", config=cfg)
+        other = repro.run(g, prog_f(), engine=engine, config=cfg)
+        assert compare_results(oracle, other) == []
+
+
+def test_oracle_handles_weighted_and_disconnected(cfg):
+    # Weighted rmat plus an isolated tail: unreachable vertices and
+    # empty vertex intervals in one graph.
+    base = small_rmat(n=48, m=192, seed=9, weighted=True)
+    src, dst = base.edge_array()
+    g = CSRGraph.from_edges(base.n + 32, src, dst, weights=base.weights)
+    oracle = repro.run(g, SSSPProgram(source=0), engine="oracle", config=cfg)
+    other = repro.run(g, SSSPProgram(source=0), engine="multilogvc", config=cfg)
+    assert compare_results(oracle, other) == []
+    # Unreached component stays +inf, normalised to -1 in comparable().
+    assert np.isinf(oracle.values).any()
+    assert (oracle.comparable()["values"] == -1.0).any()
+
+
+def test_oracle_rejects_structure_mutation(cfg):
+    class Mutator(VertexProgram):
+        name = "mutator"
+        mutates_structure = True
+
+        def initial(self, graph, rng):
+            return InitialState(
+                values=np.zeros(graph.n), active=np.arange(graph.n, dtype=np.int64)
+            )
+
+        def process(self, ctx):  # pragma: no cover - never reached
+            ctx.deactivate()
+
+    with pytest.raises(ProgramError):
+        OracleEngine(small_rmat(n=16, m=32, seed=0), Mutator(), cfg)
+
+
+def _doctor(result, **changes):
+    import dataclasses
+
+    return dataclasses.replace(result, **changes)
+
+
+def test_compare_results_flags_each_divergence_kind(cfg):
+    g = small_rmat(n=32, m=128, seed=0)
+    base = repro.run(g, WCCProgram(), engine="oracle", config=cfg)
+
+    wrong_values = _doctor(base, values=base.values + 1.0)
+    assert any("values differ" in m for m in compare_results(base, wrong_values))
+
+    fewer_steps = _doctor(base, supersteps=base.supersteps[:-1])
+    assert any("superstep count" in m for m in compare_results(base, fewer_steps))
+
+    not_conv = _doctor(base, converged=not base.converged)
+    assert any("converged" in m for m in compare_results(base, not_conv))
+
+    import dataclasses
+
+    doctored_rec = [dataclasses.replace(r) for r in base.supersteps]
+    doctored_rec[0] = dataclasses.replace(doctored_rec[0], messages_sent=10**9)
+    wrong_rec = _doctor(base, supersteps=doctored_rec)
+    assert any("record differs" in m for m in compare_results(base, wrong_rec))
+
+    # Tolerant mode forgives tiny float noise but not the above.
+    noisy = _doctor(base, values=base.values + 1e-12)
+    assert compare_results(base, noisy, atol=1e-9) == []
+    assert compare_results(base, noisy) != []
+
+
+def test_compare_results_identity(cfg):
+    g = small_rmat(n=32, m=128, seed=0)
+    a = repro.run(g, DeltaPageRankProgram(), engine="oracle", config=cfg)
+    b = repro.run(g, DeltaPageRankProgram(), engine="oracle", config=cfg)
+    assert compare_results(a, b) == []
