@@ -44,7 +44,7 @@ from ..graph.storage import GraphOnSSD
 from ..obs.context import current_tracer
 from ..obs.metrics import NULL_METRICS, MetricsRegistry
 from ..obs.tracer import Tracer
-from ..options import _UNSET, EngineOptions, resolve_options
+from ..options import _UNSET, EngineOptions, apply_cache_options, resolve_options
 from ..ssd.filesystem import SimFS
 from ..core.active import ActiveTracker
 from ..core.api import VertexContext, VertexProgram
@@ -82,6 +82,7 @@ class GraFBoost:
         options = resolve_options(
             self.name, options, adapted=adapted, merge_fanout=merge_fanout
         )
+        config = apply_cache_options(config, options, fs)
         if program.mutates_structure:
             raise EngineError("the GraFBoost baseline runs static graphs")
         if not options.adapted and program.combine is None:
@@ -189,6 +190,8 @@ class GraFBoost:
         meter = ComputeMeter(cfg.compute)
         tracer = self.tracer
         reg = self.metrics_registry if self.metrics_registry is not None else NULL_METRICS
+        if self.fs.cache is not None:
+            self.fs.cache.register_metrics(reg)
         self._c_sort_runs = reg.counter("grafboost.sort_runs")
         self._c_sort_passes = reg.counter("grafboost.sort_passes")
         c_flushed = reg.counter("grafboost.log_pages_flushed")

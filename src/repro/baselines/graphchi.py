@@ -33,7 +33,7 @@ from ..graph.shards import ShardedGraph
 from ..obs.context import current_tracer
 from ..obs.metrics import NULL_METRICS, MetricsRegistry
 from ..obs.tracer import Tracer
-from ..options import EngineOptions, resolve_options
+from ..options import EngineOptions, apply_cache_options, resolve_options
 from ..ssd.filesystem import SimFS
 from ..core.active import ActiveTracker
 from ..core.api import VertexContext, VertexProgram
@@ -64,6 +64,7 @@ class GraphChi:
     ) -> None:
         # GraphChi has no tuning knobs; validation rejects stray options.
         self.options = resolve_options(self.name, options)
+        config = apply_cache_options(config, self.options, fs)
         if program.mutates_structure:
             raise EngineError(
                 "structural updates are implemented on the MultiLogVC engine; "
@@ -92,6 +93,8 @@ class GraphChi:
         meter = ComputeMeter(cfg.compute)
         tracer = self.tracer
         reg = self.metrics_registry if self.metrics_registry is not None else NULL_METRICS
+        if self.fs.cache is not None:
+            self.fs.cache.register_metrics(reg)
         shard_loads = reg.counter("graphchi.shard_loads")
         window_reads = reg.counter("graphchi.window_reads")
         trace_start = len(tracer.events)

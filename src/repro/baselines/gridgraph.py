@@ -43,7 +43,7 @@ from ..graph.partition import VertexIntervals, partition_by_edge_volume, uniform
 from ..obs.context import current_tracer
 from ..obs.metrics import NULL_METRICS, MetricsRegistry
 from ..obs.tracer import Tracer
-from ..options import _UNSET, EngineOptions, resolve_options
+from ..options import _UNSET, EngineOptions, apply_cache_options, resolve_options
 from ..ssd.filesystem import SimFS
 from ..core.active import ActiveTracker
 from ..core.api import VertexContext, VertexProgram
@@ -77,6 +77,7 @@ class GridGraph:
         progress: Optional[Callable[[SuperstepRecord], None]] = None,
     ) -> None:
         options = resolve_options(self.name, options, intervals=intervals)
+        config = apply_cache_options(config, options, fs)
         if program.combine is None:
             raise EngineError(
                 "GridGraph's streaming accumulation requires a combine operator "
@@ -159,6 +160,8 @@ class GridGraph:
         meter = ComputeMeter(cfg.compute)
         tracer = self.tracer
         reg = self.metrics_registry if self.metrics_registry is not None else NULL_METRICS
+        if self.fs.cache is not None:
+            self.fs.cache.register_metrics(reg)
         c_rows = reg.counter(f"{self.name}.rows_streamed")
         c_edge_pages = reg.counter(f"{self.name}.edge_pages_streamed")
         trace_start = len(tracer.events)

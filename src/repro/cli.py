@@ -210,6 +210,9 @@ def cmd_compute(args) -> int:
     graph = _compute_dataset(args.dataset, args.scale, weighted)
     program = _compute_program(args.algorithm, args)
     cfg = small_test_config() if args.scale == "test" else DEFAULT_CONFIG
+    if args.cache_policy != "none" or args.cache_bytes is not None:
+        # --cache-bytes alone implies the (only) real policy, clock.
+        cfg = cfg.with_cache(policy="clock", cache_bytes=args.cache_bytes)
     options = EngineOptions(
         checkpoint_every=args.checkpoint_every, checkpoint_mode=args.checkpoint_mode
     )
@@ -279,6 +282,11 @@ def cmd_info(_args) -> int:
           f"edge-log {int(100 * cfg.memory.edgelog_fraction)}%)")
     print(f"  records: update {cfg.records.update_bytes} B, "
           f"shard edge {cfg.records.edge_record_bytes} B")
+    cache_cfg = cfg.with_cache()
+    print(f"  page cache (--cache-policy clock): "
+          f"{cache_cfg.resolved_cache_bytes // 1024} KiB "
+          f"({cache_cfg.cache_pages} pages; "
+          f"{int(100 * cfg.memory.cache_fraction)}% of host DRAM)")
     from .graph.datasets import dataset_table
 
     print("bench-scale datasets:")
@@ -364,6 +372,11 @@ def build_parser() -> argparse.ArgumentParser:
                            "(also after a simulated crash)")
     comp.add_argument("--resume-from", default=None, metavar="PATH",
                       help="resume from a checkpoint saved with --checkpoint-out")
+    comp.add_argument("--cache-policy", choices=("none", "clock"), default="none",
+                      help="DRAM page cache between engine and SSD (default: none)")
+    comp.add_argument("--cache-bytes", type=int, default=None, metavar="BYTES",
+                      help="cache budget; implies --cache-policy clock "
+                           "(default: the cache_fraction share of host DRAM)")
     comp.add_argument("--fault", default=None, metavar="SPEC",
                       help="inject a fault: KIND@OPS[:KLASS], KIND in crash/torn/error "
                            "(e.g. crash@40, torn@10:mlog, error@5:csr_col)")

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass, field
+from typing import Optional
 
 from .errors import ConfigError
 
@@ -97,6 +98,18 @@ class MemoryConfig:
     sort_fraction: float = 0.75
     multilog_fraction: float = 0.05
     edgelog_fraction: float = 0.05
+    #: Share of *host DRAM* given to the page cache when one is enabled
+    #: (``SimConfig.cache_policy != "none"``).  Mirrors FlashGraph, where
+    #: the SAFS page cache takes the overwhelming share of host memory
+    #: while the engine's working budget (the Fig. 4 split above) is the
+    #: small remainder: ``total_bytes`` is the engine's ``1 - f`` share,
+    #: so the cache gets ``total_bytes * f / (1 - f)`` bytes.  The
+    #: default 0.96 funds a 24x-the-engine-budget cache (12 MiB at the
+    #: default 512 KiB) -- enough to absorb the multi-log's
+    #: write-then-read-once stream plus the hot CSR pages.  With the
+    #: default ``cache_policy="none"`` this fraction funds nothing and
+    #: the paper's graph-much-larger-than-memory regime is unchanged.
+    cache_fraction: float = 0.96
     #: Multi-log buffer eviction starts when free space drops below this
     #: fraction of the buffer (paper §V-A3 "less than a certain
     #: threshold") and stops once free space recovers to the high mark.
@@ -106,7 +119,7 @@ class MemoryConfig:
     def validate(self) -> None:
         if self.total_bytes <= 0:
             raise ConfigError("total_bytes must be positive")
-        for name in ("sort_fraction", "multilog_fraction", "edgelog_fraction"):
+        for name in ("sort_fraction", "multilog_fraction", "edgelog_fraction", "cache_fraction"):
             v = getattr(self, name)
             if not 0.0 < v < 1.0:
                 raise ConfigError(f"{name} must be in (0, 1), got {v}")
@@ -126,6 +139,16 @@ class MemoryConfig:
     @property
     def edgelog_bytes(self) -> int:
         return int(self.total_bytes * self.edgelog_fraction)
+
+    @property
+    def cache_bytes_default(self) -> int:
+        """Default page-cache budget: the cache's share of host DRAM.
+
+        ``total_bytes`` is the engine's ``1 - cache_fraction`` share of
+        the host, so the cache share resolves to
+        ``total_bytes * cache_fraction / (1 - cache_fraction)``.
+        """
+        return int(round(self.total_bytes * self.cache_fraction / (1.0 - self.cache_fraction)))
 
 
 @dataclass(frozen=True)
@@ -220,6 +243,16 @@ class SimConfig:
     page_efficiency_threshold: float = 0.10
     #: Structural updates buffered per interval before merge (paper §V-E).
     mutation_merge_threshold: int = 1024
+    #: DRAM page cache between the engines and the simulated SSD
+    #: (DESIGN.md §10).  ``"none"`` (the default) reproduces the paper's
+    #: uncached setup exactly; ``"clock"`` enables a budgeted CLOCK
+    #: cache so reads charge flash only on misses (writes stay
+    #: write-through).
+    cache_policy: str = "none"
+    #: Explicit cache budget in bytes; ``None`` resolves to
+    #: ``memory.cache_bytes_default`` (the ``cache_fraction`` share of
+    #: host DRAM).  Ignored while ``cache_policy="none"``.
+    cache_bytes: Optional[int] = None
     #: How many interval groups the superstep pipeline may prepare ahead
     #: of the group being processed (§V-A3 / §VI overlap of log loading
     #: with compute).  ``0`` disables the prefetch thread and reproduces
@@ -244,6 +277,12 @@ class SimConfig:
             raise ConfigError("mutation_merge_threshold must be >= 1")
         if self.pipeline_depth < 0:
             raise ConfigError("pipeline_depth must be >= 0")
+        if self.cache_policy not in ("none", "clock"):
+            raise ConfigError(
+                f"cache_policy must be 'none' or 'clock', got {self.cache_policy!r}"
+            )
+        if self.cache_bytes is not None and self.cache_bytes < self.ssd.page_size:
+            raise ConfigError("cache_bytes must hold at least one SSD page")
         if self.memory.multilog_bytes < self.ssd.page_size:
             raise ConfigError(
                 "multi-log buffer smaller than one SSD page: raise total_bytes or multilog_fraction"
@@ -265,6 +304,14 @@ class SimConfig:
         """Return a copy with a different group-prefetch depth."""
         return dataclasses.replace(self, pipeline_depth=depth)
 
+    def with_cache(self, policy: str = "clock", cache_bytes: Optional[int] = None) -> "SimConfig":
+        """Return a copy with the DRAM page cache configured.
+
+        ``policy="clock"`` with ``cache_bytes=None`` enables the cache
+        at the default budget (``memory.cache_bytes_default``).
+        """
+        return dataclasses.replace(self, cache_policy=policy, cache_bytes=cache_bytes)
+
     # -- derived helpers ----------------------------------------------
 
     @property
@@ -276,6 +323,23 @@ class SimConfig:
     def sort_capacity_updates(self) -> int:
         """How many update records the sort/group budget can hold."""
         return max(1, self.memory.sort_bytes // self.records.update_bytes)
+
+    @property
+    def resolved_cache_bytes(self) -> Optional[int]:
+        """The effective cache budget in bytes; None when disabled."""
+        if self.cache_policy == "none":
+            return None
+        if self.cache_bytes is not None:
+            return int(self.cache_bytes)
+        return self.memory.cache_bytes_default
+
+    @property
+    def cache_pages(self) -> int:
+        """The effective cache budget in pages (0 when disabled)."""
+        nbytes = self.resolved_cache_bytes
+        if nbytes is None:
+            return 0
+        return max(1, nbytes // self.ssd.page_size)
 
     def pages_for_bytes(self, nbytes: int) -> int:
         """Number of pages needed to store ``nbytes`` (ceiling)."""

@@ -35,7 +35,7 @@ from ..mem.budget import MemoryBudget
 from ..obs.context import current_tracer
 from ..obs.metrics import NULL_METRICS, MetricsRegistry
 from ..obs.tracer import Tracer
-from ..options import _UNSET, EngineOptions, resolve_options
+from ..options import _UNSET, EngineOptions, apply_cache_options, resolve_options
 from ..recovery.checkpoint import CheckpointData, CheckpointManager
 from ..ssd.filesystem import SimFS
 from .active import ActiveTracker
@@ -121,6 +121,7 @@ class MultiLogVC:
             )
         if program.uses_edge_state and program.mutates_structure:
             raise ProgramError("edge state plus structural mutation is not supported")
+        config = apply_cache_options(config, options, fs)
         self.graph = graph
         self.program = program
         self.config = config
@@ -177,6 +178,8 @@ class MultiLogVC:
         meter = ComputeMeter(cfg.compute)
         tracer = self.tracer
         reg = self.metrics_registry if self.metrics_registry is not None else NULL_METRICS
+        if self.fs.cache is not None:
+            self.fs.cache.register_metrics(reg)
         trace_start = len(tracer.events)
         # Fault events (injected errors, retries, degradation) are
         # emitted by the device itself; give it this run's tracer.
@@ -260,6 +263,11 @@ class MultiLogVC:
             depth = 0
         if self.fs.device.fault_plan is not None:
             depth = 0
+        if self.fs.cache is not None:
+            # CLOCK state mutates on every access, so hit patterns are
+            # order-dependent; keep all cache traffic on the accounting
+            # thread so stats and traces stay deterministic.
+            depth = 0
         pipeline = GroupPipeline(self.fs.device, depth)
 
         converged = False
@@ -340,6 +348,11 @@ class MultiLogVC:
             for d in ckpt.records
         ]
         ckpt_mgr.resume_at(ckpt)
+        # A resumed run starts from a cold cache; uninterrupted runs
+        # clear theirs at each checkpoint cut too, so post-cut charging
+        # is bit-identical either way (DESIGN.md §10).
+        if self.fs.cache is not None:
+            self.fs.cache.clear()
         if tracer.enabled:
             tracer.emit(
                 "run_resume",
@@ -589,6 +602,8 @@ class MultiLogVC:
                 # Mirrors SuperstepRecord.to_dict() so trace roll-ups
                 # reconcile exactly with RunResult.supersteps.
                 tracer.emit("superstep_end", **rec.to_dict())
+                if self.fs.cache is not None:
+                    tracer.emit("cache_stats", **self.fs.cache.snapshot())
             if self.progress is not None:
                 self.progress(rec)
             tracker.advance()
@@ -624,6 +639,11 @@ class MultiLogVC:
                         payload_pages=info.payload_pages,
                         time_us=info.time_us,
                     )
+                # Drop cache contents at the cut so a crash-and-resume
+                # from this checkpoint charges I/O exactly like this
+                # uninterrupted run does (counters survive the clear).
+                if self.fs.cache is not None:
+                    self.fs.cache.clear()
             if prog.is_converged(values):
                 raise _Converged
 

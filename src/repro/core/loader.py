@@ -101,6 +101,11 @@ class GraphLoaderUnit:
         active = np.asarray(active, dtype=np.int64)
         report = LoadReport()
         ineff_flags = np.zeros(active.shape[0], dtype=bool)
+        # Edge-log membership for every active vertex, filled one
+        # interval at a time and reused for the end-of-load page charge
+        # -- contains_many is a sorted-array intersection, so querying
+        # the whole array again would redo all the per-interval work.
+        hit_all_mask = np.zeros(active.shape[0], dtype=bool)
         if active.size == 0:
             report.vertex_page_inefficient = ineff_flags
             return report
@@ -137,6 +142,7 @@ class GraphLoaderUnit:
             # Split into edge-log hits and misses.
             if edgelog is not None:
                 hit_mask = edgelog.contains_many(v)
+                hit_all_mask[s:e] = hit_mask
             else:
                 hit_mask = np.zeros(v.shape[0], dtype=bool)
             miss = ~hit_mask
@@ -155,14 +161,23 @@ class GraphLoaderUnit:
             # Avoided-inefficient accounting: hypothetical inefficient
             # pages not present in the actually-read page set.
             if hypo_pages.shape[0]:
+                # Both page lists come out of pages_for_ranges sorted
+                # and unique, so membership is a searchsorted probe
+                # instead of np.isin's generic hash/sort machinery.
                 read_set = pages
-                avoided = hypo_ineff_mask & ~np.isin(hypo_pages, read_set)
+                if read_set.shape[0]:
+                    pos = np.searchsorted(read_set, hypo_pages)
+                    pos_c = np.minimum(pos, read_set.shape[0] - 1)
+                    in_read = read_set[pos_c] == hypo_pages
+                else:
+                    in_read = np.zeros(hypo_pages.shape[0], dtype=bool)
+                avoided = hypo_ineff_mask & ~in_read
                 report.hypo_inefficient += int(hypo_ineff_mask.sum())
                 report.avoided_inefficient += int(avoided.sum())
 
         # Edge-log pages for all hits, read once per unique page.
         if edgelog is not None:
-            hits_all = active[edgelog.contains_many(active)]
+            hits_all = active[hit_all_mask]
             if hits_all.size:
                 t, n_pages = edgelog.charge_read(hits_all)
                 report.io_time_us += t
@@ -186,7 +201,10 @@ class GraphLoaderUnit:
         dirty = np.asarray(dirty, dtype=np.int64)
         if dirty.size == 0:
             return 0.0
-        dirty = np.sort(dirty)
+        if dirty.size > 1 and np.any(dirty[1:] < dirty[:-1]):
+            # Callers usually pass already-sorted vertex ids; the O(n)
+            # sortedness probe dodges the O(n log n) sort for them.
+            dirty = np.sort(dirty)
         total = 0.0
         bounds = self.storage.intervals.boundaries
         cut = np.searchsorted(dirty, bounds)

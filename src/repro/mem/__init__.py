@@ -2,5 +2,12 @@
 
 from .budget import MemoryBudget
 from .pagebuffer import ByteStreamPager, RecordPageBuffer
+from .pagecache import UNCACHED_KLASSES, PageCache
 
-__all__ = ["MemoryBudget", "ByteStreamPager", "RecordPageBuffer"]
+__all__ = [
+    "MemoryBudget",
+    "ByteStreamPager",
+    "RecordPageBuffer",
+    "PageCache",
+    "UNCACHED_KLASSES",
+]

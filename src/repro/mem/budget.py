@@ -25,6 +25,11 @@ class MemoryBudget:
     multilog_pages: int
     edgelog_pages: int
     page_size: int
+    #: DRAM page-cache budget (DESIGN.md §10); 0 while the cache is
+    #: disabled (``cache_policy="none"``).  Unlike the Fig. 4 slices the
+    #: cache is funded from the host's ``cache_fraction`` share *on top
+    #: of* ``total_bytes`` -- see ``MemoryConfig.cache_bytes_default``.
+    cache_pages: int = 0
 
     @classmethod
     def resolve(cls, config: SimConfig, n_intervals: int) -> "MemoryBudget":
@@ -49,6 +54,7 @@ class MemoryBudget:
             multilog_pages=int(multilog_pages),
             edgelog_pages=int(edgelog_pages),
             page_size=page,
+            cache_pages=config.cache_pages,
         )
 
     @property
@@ -58,6 +64,10 @@ class MemoryBudget:
     @property
     def edgelog_bytes(self) -> int:
         return self.edgelog_pages * self.page_size
+
+    @property
+    def cache_bytes(self) -> int:
+        return self.cache_pages * self.page_size
 
     def sort_capacity_records(self, record_bytes: int) -> int:
         """How many fixed-size records fit in the sort/group budget."""

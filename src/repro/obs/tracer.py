@@ -53,6 +53,8 @@ TRACE_KINDS = frozenset(
         # recovery subsystem
         "checkpoint_write",
         "recovery_load",
+        # DRAM page cache (file layer; emitted once per superstep)
+        "cache_stats",
         # SSD fault injection (device layer)
         "fault_error",
         "fault_crash",

@@ -27,7 +27,9 @@ from typing import TYPE_CHECKING, Dict, FrozenSet, Optional
 from .errors import EngineError
 
 if TYPE_CHECKING:  # circular-import guard; only for annotations
+    from .config import SimConfig
     from .graph.partition import VertexIntervals
+    from .ssd.filesystem import SimFS
 
 #: Sentinel distinguishing "not passed" from an explicit value in the
 #: deprecated per-engine keyword arguments.
@@ -70,6 +72,15 @@ class EngineOptions:
         ``"full"`` (default) snapshots the whole value vector each
         time; ``"incremental"`` stores value deltas against the
         previous checkpoint (resolved back to a full baseline at load).
+    cache_policy:
+        DRAM page-cache policy between the engine and the simulated
+        SSD: ``None`` (default) keeps the config's setting, ``"none"``
+        forces the cache off, ``"clock"`` enables it (DESIGN.md §10).
+        Applies to every engine -- the cache lives in the shared file
+        layer, not in any one engine.
+    cache_bytes:
+        Explicit cache budget in bytes; defaults to the config's
+        ``memory.cache_bytes_default`` when the cache is enabled.
     """
 
     mode: str = "sync"
@@ -82,6 +93,8 @@ class EngineOptions:
     grid_p: Optional[int] = None
     checkpoint_every: int = 0
     checkpoint_mode: str = "full"
+    cache_policy: Optional[str] = None
+    cache_bytes: Optional[int] = None
 
     def validate_for(self, engine: str) -> None:
         """Reject non-default options the named engine does not consume."""
@@ -116,7 +129,18 @@ class EngineOptions:
             raise EngineError(
                 f"checkpoint_mode must be 'full' or 'incremental', got {self.checkpoint_mode!r}"
             )
+        if self.cache_policy not in (None, "none", "clock"):
+            raise EngineError(
+                f"cache_policy must be 'none' or 'clock', got {self.cache_policy!r}"
+            )
+        if self.cache_bytes is not None and self.cache_bytes <= 0:
+            raise EngineError("cache_bytes must be positive")
 
+
+#: The page cache lives in the shared SSD file layer, so its knobs
+#: apply to every out-of-core engine.  The in-memory oracle performs no
+#: simulated I/O and is excluded.
+_CACHE_OPTIONS = frozenset({"cache_policy", "cache_bytes"})
 
 #: Which :class:`EngineOptions` fields each engine consumes.
 RELEVANT_OPTIONS: Dict[str, FrozenSet[str]] = {
@@ -130,14 +154,36 @@ RELEVANT_OPTIONS: Dict[str, FrozenSet[str]] = {
             "checkpoint_every",
             "checkpoint_mode",
         }
-    ),
-    "graphchi": frozenset(),
+    )
+    | _CACHE_OPTIONS,
+    "graphchi": _CACHE_OPTIONS,
     # The in-memory golden oracle (repro.verify) has no tuning knobs.
     "oracle": frozenset(),
-    "grafboost": frozenset({"adapted", "merge_fanout"}),
-    "gridgraph": frozenset({"intervals", "grid_p"}),
-    "xstream": frozenset({"intervals", "grid_p"}),
+    "grafboost": frozenset({"adapted", "merge_fanout"}) | _CACHE_OPTIONS,
+    "gridgraph": frozenset({"intervals", "grid_p"}) | _CACHE_OPTIONS,
+    "xstream": frozenset({"intervals", "grid_p"}) | _CACHE_OPTIONS,
 }
+
+
+def apply_cache_options(
+    config: "SimConfig", options: EngineOptions, fs: Optional["SimFS"]
+) -> "SimConfig":
+    """Fold the options' cache knobs into ``config``.
+
+    The page cache is constructed by :class:`~repro.ssd.SimFS` from its
+    config, so the knobs only take effect when the engine builds the
+    file system itself -- combining them with an explicit ``fs`` would
+    silently ignore them, which is an error instead.
+    """
+    if options.cache_policy is None and options.cache_bytes is None:
+        return config
+    if fs is not None:
+        raise EngineError(
+            "cache_policy/cache_bytes cannot be combined with an explicit fs; "
+            "enable the cache on the SimConfig the fs was built from instead"
+        )
+    policy = options.cache_policy if options.cache_policy is not None else "clock"
+    return config.with_cache(policy=policy, cache_bytes=options.cache_bytes)
 
 
 def resolve_options(engine: str, options: Optional[EngineOptions], **legacy) -> EngineOptions:

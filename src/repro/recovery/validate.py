@@ -30,10 +30,15 @@ from typing import Any, Callable, List, Optional, Tuple
 from ..errors import RecoveryError, SimulatedCrashError
 from .checkpoint import CheckpointData, CheckpointManager
 
-#: Events outside any superstep (run prologue, resume bookkeeping).
-#: They are excluded from reconciliation by the ``step >= from_step``
-#: filter -- listed here for documentation and defensive filtering.
-NON_RECONCILED_KINDS = frozenset({"run_begin", "run_resume", "recovery_load"})
+#: Events outside any superstep (run prologue, resume bookkeeping), plus
+#: ``cache_stats``: page-cache counters are cumulative over the cache's
+#: *lifetime*, so post-cut snapshots embed pre-cut history the resumed
+#: run never saw.  The charged I/O itself still reconciles exactly --
+#: both runs restart from a cold cache at the cut (DESIGN.md §10) -- so
+#: timestamps, stats and every other event kind stay bit-identical.
+NON_RECONCILED_KINDS = frozenset(
+    {"run_begin", "run_resume", "recovery_load", "cache_stats"}
+)
 
 
 def reconcile_traces(

@@ -26,6 +26,7 @@ from typing import Any, List, Optional, Tuple
 import numpy as np
 
 from ..errors import SimulatedCrashError, StorageError
+from ..mem.pagecache import PageCache
 from .device import SimulatedSSD
 
 
@@ -37,10 +38,38 @@ class SimFileBase:
         self.name = name
         self.klass = klass
         self.channel_offset = channel_offset % device.channels
+        #: DRAM page cache, attached by :class:`~repro.ssd.filesystem.SimFS`
+        #: at registration for cacheable storage classes (DESIGN.md §10).
+        self.cache: Optional[PageCache] = None
 
     def channels_of(self, page_ids: np.ndarray) -> np.ndarray:
         """Channel id for each page index of this file."""
         return (np.asarray(page_ids, dtype=np.int64) + self.channel_offset) % self.device.channels
+
+    def _charge_read(self, page_ids: np.ndarray, klass: Optional[str] = None) -> float:
+        """Charge a page-read batch, serving cache hits from DRAM.
+
+        Without a cache this is exactly ``device.read_batch`` over all
+        pages.  With one, hits cost nothing and only the missed pages'
+        channels are submitted -- an all-hit batch skips the device
+        entirely (no batch overhead, no fault check), which is how a
+        real buffer cache avoids touching the block layer.
+        """
+        ids = np.asarray(page_ids, dtype=np.int64)
+        cache = self.cache
+        if cache is not None and ids.size:
+            ids = ids[cache.access(self.name, ids)]
+        return self.device.read_batch(self.channels_of(ids), klass or self.klass)
+
+    def _admit_written(self, page_ids: np.ndarray) -> None:
+        """Write-allocate freshly written pages (write-through charging).
+
+        Keeping written pages resident is what lets the multi-log's
+        write-then-read-once stream be served from DRAM on the read
+        half; the write itself is always charged in full.
+        """
+        if self.cache is not None:
+            self.cache.admit(self.name, page_ids)
 
 
 class PageFile(SimFileBase):
@@ -72,6 +101,7 @@ class PageFile(SimFileBase):
                 del self._payloads[page_id:]
                 del self._useful[page_id:]
                 raise
+        self._admit_written(np.array([page_id], dtype=np.int64))
         return page_id, t
 
     def append_pages(self, payloads: List[Any], useful_bytes: Optional[List[int]] = None, charge: bool = True) -> Tuple[np.ndarray, float]:
@@ -88,6 +118,10 @@ class PageFile(SimFileBase):
             self._useful.extend(int(b) for b in useful_bytes)
         ids = np.arange(start, len(self._payloads), dtype=np.int64)
         if not charge:
+            # Uncharged appends (the multi-log evictor batches its own
+            # device charge) still populate the cache: the pages are in
+            # DRAM the moment they are staged for writing.
+            self._admit_written(ids)
             return ids, 0.0
         try:
             t = self.device.write_batch(self.channels_of(ids), self.klass)
@@ -100,6 +134,7 @@ class PageFile(SimFileBase):
             del self._payloads[keep:]
             del self._useful[keep:]
             raise
+        self._admit_written(ids)
         return ids, t
 
     # -- reads -----------------------------------------------------------
@@ -110,13 +145,13 @@ class PageFile(SimFileBase):
         if ids.size and (ids.min() < 0 or ids.max() >= len(self._payloads)):
             raise StorageError(f"page id out of range for file {self.name!r}")
         payloads = [self._payloads[i] for i in ids]
-        t = self.device.read_batch(self.channels_of(ids), self.klass) if charge else 0.0
+        t = self._charge_read(ids) if charge else 0.0
         return payloads, t
 
     def read_all(self, charge: bool = True) -> Tuple[List[Any], float]:
         """Read the whole file as one interspersed batch."""
         ids = np.arange(len(self._payloads), dtype=np.int64)
-        t = self.device.read_batch(self.channels_of(ids), self.klass) if charge else 0.0
+        t = self._charge_read(ids) if charge else 0.0
         return list(self._payloads), t
 
     # -- management --------------------------------------------------------
@@ -133,6 +168,10 @@ class PageFile(SimFileBase):
         """Discard all pages (log consumed; trim is free in the model)."""
         self._payloads.clear()
         self._useful.clear()
+        # Page ids restart at 0 after a truncate; stale cache entries
+        # would otherwise hit on a physically different future page.
+        if self.cache is not None:
+            self.cache.invalidate_file(self.name)
 
 
 def pages_for_ranges(
@@ -236,6 +275,8 @@ class ArrayFile(SimFileBase):
     def set_array(self, array: np.ndarray) -> None:
         """Replace backing data (used after structural-update merges)."""
         self.array = array
+        if self.cache is not None:
+            self.cache.invalidate_file(self.name)
 
     # -- access-pattern costing ----------------------------------------------
 
@@ -249,21 +290,24 @@ class ArrayFile(SimFileBase):
         Returns ``(simulated_us, page_ids, useful_bytes_per_page)``.
         """
         pages, useful = self.pages_for(starts, stops)
-        t = self.device.read_batch(self.channels_of(pages), klass or self.klass)
+        t = self._charge_read(pages, klass)
         return t, pages, useful
 
     def write_ranges(self, starts: np.ndarray, stops: np.ndarray, klass: Optional[str] = None) -> Tuple[float, np.ndarray]:
         """Charge writes for the pages covering the given entry ranges."""
         pages, _ = self.pages_for(starts, stops)
         t = self.device.write_batch(self.channels_of(pages), klass or self.klass)
+        self._admit_written(pages)
         return t, pages
 
     def read_all(self, klass: Optional[str] = None) -> float:
         """Charge a sequential read of the whole file."""
         ids = np.arange(self.n_pages, dtype=np.int64)
-        return self.device.read_batch(self.channels_of(ids), klass or self.klass)
+        return self._charge_read(ids, klass)
 
     def write_all(self, klass: Optional[str] = None) -> float:
         """Charge a sequential write of the whole file."""
         ids = np.arange(self.n_pages, dtype=np.int64)
-        return self.device.write_batch(self.channels_of(ids), klass or self.klass)
+        t = self.device.write_batch(self.channels_of(ids), klass or self.klass)
+        self._admit_written(ids)
+        return t

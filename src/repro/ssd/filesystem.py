@@ -21,6 +21,7 @@ import numpy as np
 
 from ..config import SimConfig
 from ..errors import StorageError
+from ..mem.pagecache import UNCACHED_KLASSES, PageCache
 from .device import SimulatedSSD
 from .file import ArrayFile, PageFile, SimFileBase
 
@@ -37,6 +38,11 @@ class SimFS:
         self.config = device.config
         self._files: Dict[str, SimFileBase] = {}
         self._next_offset = 0
+        #: Budgeted DRAM page cache shared by every cacheable file on
+        #: this file system (DESIGN.md §10); ``None`` when disabled.
+        self.cache: Optional[PageCache] = None
+        if self.config.cache_policy != "none":
+            self.cache = PageCache(self.config.cache_pages)
 
     # -- creation ---------------------------------------------------------
 
@@ -48,6 +54,13 @@ class SimFS:
     def _register(self, f: SimFileBase, overwrite: bool) -> None:
         if f.name in self._files and not overwrite:
             raise StorageError(f"file {f.name!r} already exists")
+        if self.cache is not None:
+            if f.name in self._files:
+                # Re-registering a name (recovery's adopt path) replaces
+                # the pages behind it; cached entries are stale.
+                self.cache.invalidate_file(f.name)
+            if f.klass not in UNCACHED_KLASSES:
+                f.cache = self.cache
         self._files[f.name] = f
 
     def create_page_file(self, name: str, klass: str, overwrite: bool = False) -> PageFile:
@@ -109,6 +122,8 @@ class SimFS:
     def delete(self, name: str) -> None:
         if name not in self._files:
             raise StorageError(f"no such file: {name!r}")
+        if self.cache is not None:
+            self.cache.invalidate_file(name)
         del self._files[name]
 
     def names(self) -> list:

@@ -234,6 +234,7 @@ def build_program(case: ConformanceCase):
 
 
 def build_config(cdict: Dict[str, Any]) -> SimConfig:
+    cache_bytes = cdict.get("cache_bytes")
     return SimConfig(
         ssd=SSDConfig(
             page_size=int(cdict.get("page_size", 4096)),
@@ -241,6 +242,8 @@ def build_config(cdict: Dict[str, Any]) -> SimConfig:
         ),
         memory=MemoryConfig(total_bytes=int(cdict.get("total_bytes", 256 * 1024))),
         pipeline_depth=int(cdict.get("pipeline_depth", 1)),
+        cache_policy=str(cdict.get("cache_policy", "none")),
+        cache_bytes=None if cache_bytes is None else int(cache_bytes),
     )
 
 
@@ -431,12 +434,18 @@ def _config_dict(rng: np.random.Generator) -> Dict[str, Any]:
     page = int(rng.choice([1024, 2048, 4096]))
     # multilog buffer (5% of total) must hold at least one page.
     total = page * int(rng.integers(24, 80))
-    return {
+    cdict = {
         "page_size": page,
         "total_bytes": total,
         "channels": int(rng.choice([1, 2, 4])),
         "pipeline_depth": int(rng.choice([0, 1, 2])),
     }
+    # Page-cache dimension: a third of cases run with a deliberately
+    # tiny cache (heavy eviction churn) -- values/records must not care.
+    if int(rng.integers(0, 3)) == 0:
+        cdict["cache_policy"] = "clock"
+        cdict["cache_bytes"] = page * int(rng.integers(1, 33))
+    return cdict
 
 
 def generate_case(master_seed: int, index: int) -> ConformanceCase:

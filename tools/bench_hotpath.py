@@ -46,6 +46,7 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro.config import DEFAULT_CONFIG  # noqa: E402
 from repro.core import MultiLogVC  # noqa: E402
+from repro.obs import MetricsRegistry  # noqa: E402
 from repro.graph.datasets import cf_like  # noqa: E402
 from repro.algorithms import (  # noqa: E402
     CommunityDetectionProgram,
@@ -119,6 +120,48 @@ def measure(scale: str, steps_scale: float, repeats: int = 1):
     return out
 
 
+def measure_cache(scale: str, steps_scale: float):
+    """Simulated-I/O comparison: default config vs the same + page cache.
+
+    Everything here is deterministic simulation output (no wall clock),
+    so the numbers are machine-independent and exactly reproducible.
+    Returns None if any workload's cache-on values differ from cache-off.
+    """
+    cfg = DEFAULT_CONFIG
+    out = {}
+    for name, graph, factory, steps in build_workloads(scale, steps_scale):
+        off = MultiLogVC(graph, factory(), cfg).run(steps, seed=0)
+        reg = MetricsRegistry()
+        on = MultiLogVC(graph, factory(), cfg.with_cache(), metrics=reg).run(steps, seed=0)
+        same = np.array_equal(
+            np.nan_to_num(off.values, posinf=-1),
+            np.nan_to_num(on.values, posinf=-1),
+        )
+        if not same:
+            print(f"ERROR: {name}: cache-on values differ from cache-off", file=sys.stderr)
+            return None
+        io_off = off.stats.total_time_us
+        io_on = on.stats.total_time_us
+        reduction = (io_off - io_on) / io_off if io_off > 0 else 0.0
+        snap = reg.snapshot()
+        row = {
+            "io_time_off_us": round(io_off, 1),
+            "io_time_on_us": round(io_on, 1),
+            "io_reduction": round(reduction, 4),
+            "read_pages_off": int(off.stats.pages_read),
+            "read_pages_on": int(on.stats.pages_read),
+            "hit_rate": round(float(snap.get("cache.hit_rate", 0.0)), 4),
+            "values_identical": True,
+        }
+        out[name] = row
+        print(
+            f"{name:10s} io_off={io_off:10.0f}us  io_on={io_on:10.0f}us"
+            f"  saved={100 * reduction:5.1f}%  hit_rate={row['hit_rate']:6.2%}"
+            f"  reads {row['read_pages_off']}->{row['read_pages_on']}"
+        )
+    return out
+
+
 def check_regression(baseline_path: str, threshold: float, repeats: int) -> int:
     """CI gate: fail when any smoke speedup regresses past ``threshold``."""
     committed = json.loads(Path(baseline_path).read_text())
@@ -150,11 +193,40 @@ def check_regression(baseline_path: str, threshold: float, repeats: int) -> int:
                 f"{name}: speedup {got['speedup']:.2f}x fell below "
                 f"{floor:.2f}x ({threshold:.0%} of committed {ref['speedup']:.2f}x)"
             )
+    cache_ref = committed.get("smoke", {}).get("cache")
+    if cache_ref:
+        cache_now = measure_cache("test", 0.4)
+        if cache_now is None:
+            return 1
+        for name, ref in cache_ref.items():
+            got = cache_now.get(name)
+            if got is None:
+                failed.append(f"{name}: kernel missing from cache benchmark")
+                continue
+            floor = threshold * ref["io_reduction"]
+            ok = got["io_reduction"] >= floor and got["hit_rate"] > 0.0
+            print(
+                f"{name:10s} cache: committed saved={ref['io_reduction']:.1%}  "
+                f"measured={got['io_reduction']:.1%}  floor={floor:.1%}  "
+                f"{'ok' if ok else 'REGRESSED'}"
+            )
+            if got["io_reduction"] < floor:
+                failed.append(
+                    f"{name}: cache io reduction {got['io_reduction']:.1%} fell "
+                    f"below {floor:.1%} ({threshold:.0%} of committed "
+                    f"{ref['io_reduction']:.1%})"
+                )
+            if got["hit_rate"] <= 0.0:
+                failed.append(f"{name}: cache hit rate is zero")
     if failed:
         for msg in failed:
             print(f"ERROR: {msg}", file=sys.stderr)
         return 1
-    print(f"benchmark gate OK ({len(reference)} kernels within {threshold:.0%} of reference)")
+    n_cache = len(cache_ref) if cache_ref else 0
+    print(
+        f"benchmark gate OK ({len(reference)} kernels within {threshold:.0%} of "
+        f"reference; {n_cache} cache reference(s) validated)"
+    )
     return 0
 
 
@@ -178,6 +250,11 @@ def main() -> int:
         "--repeats", type=int, default=3,
         help="--check repeats per kernel, best speedup wins (default 3)",
     )
+    ap.add_argument(
+        "--cache", action="store_true",
+        help="also compare simulated I/O with the page cache on vs off "
+             "(deterministic; lands in the report's 'cache' section)",
+    )
     args = ap.parse_args()
 
     if args.check:
@@ -189,6 +266,12 @@ def main() -> int:
     algorithms = measure(scale, steps_scale)
     if algorithms is None:
         return 1
+    cache = None
+    if args.cache:
+        print("-- page cache on vs off (simulated I/O) --")
+        cache = measure_cache(scale, steps_scale)
+        if cache is None:
+            return 1
 
     section = {
         "scale": scale,
@@ -207,6 +290,12 @@ def main() -> int:
         "algorithms": algorithms,
         "min_speedup": min(a["speedup"] for a in algorithms.values()),
     }
+    if cache is not None:
+        section["cache"] = cache
+        section["cache_config"] = {
+            "cache_policy": "clock",
+            "cache_bytes": cfg.with_cache().resolved_cache_bytes,
+        }
 
     if args.smoke:
         if not args.out:

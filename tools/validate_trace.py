@@ -11,7 +11,11 @@ Checks, in order:
    run segment**.  A trace file may concatenate several runs (the CLI
    records every engine an experiment constructs) and the simulated
    clock restarts at zero for each, so segments are delimited by
-   ``run_begin`` events and monotonicity is asserted per segment.
+   ``run_begin`` events and monotonicity is asserted per segment;
+4. ``cache_stats`` counters (hits/misses/evictions/insertions/
+   invalidations) never decrease within a run segment -- the page
+   cache's tallies are monotonic for the cache's lifetime even across
+   checkpoint cuts, so a drop means cache state was rebuilt mid-run.
 
 Any violation prints the offending line number and exits non-zero.
 
@@ -30,11 +34,15 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro.obs import TRACE_KINDS  # noqa: E402
 
+#: ``cache_stats`` fields that must be non-decreasing within a segment.
+CACHE_COUNTERS = ("hits", "misses", "evictions", "insertions", "invalidations")
+
 
 def validate_file(path: Path) -> list:
     """Return a list of violation strings for one trace file."""
     errors = []
     last_t = None
+    last_cache = None
     segment_start = 0
     n_events = 0
     n_segments = 0
@@ -69,8 +77,10 @@ def validate_file(path: Path) -> list:
             continue
         n_events += 1
         if kind == "run_begin":
-            # the simulated clock restarts with each run
+            # the simulated clock restarts with each run, and so does
+            # the page cache (a fresh SimFS means a fresh cache)
             last_t = None
+            last_cache = None
             segment_start = lineno
             n_segments += 1
         if last_t is not None and t_us < last_t:
@@ -79,6 +89,22 @@ def validate_file(path: Path) -> list:
                 f"within the run segment starting at line {segment_start}"
             )
         last_t = t_us
+        if kind == "cache_stats":
+            for field in CACHE_COUNTERS:
+                cur = ev.get(field)
+                if not isinstance(cur, int) or isinstance(cur, bool):
+                    errors.append(
+                        f"{path}:{lineno}: cache_stats missing/non-integer {field!r}"
+                    )
+                    continue
+                prev = (last_cache or {}).get(field)
+                if prev is not None and cur < prev:
+                    errors.append(
+                        f"{path}:{lineno}: cache counter {field!r} decreased "
+                        f"({cur} < {prev}) within the run segment starting at "
+                        f"line {segment_start}"
+                    )
+            last_cache = ev
     if n_events == 0 and not errors:
         errors.append(f"{path}: trace is empty")
     if not errors:
