@@ -15,6 +15,7 @@ from repro import DEFAULT_CONFIG, GraphChi, MultiLogVC
 from repro.algorithms import GraphColoringProgram, MISProgram
 from repro.graph.datasets import cf_like
 from repro.metrics import render_table
+from repro.options import EngineOptions
 
 
 def channel_scaling(graph) -> None:
@@ -49,7 +50,7 @@ def memory_scaling(graph) -> None:
 def edgelog_ablation(graph) -> None:
     rows = []
     for enabled in (True, False):
-        res = MultiLogVC(graph, GraphColoringProgram(), DEFAULT_CONFIG, enable_edgelog=enabled).run(15)
+        res = MultiLogVC(graph, GraphColoringProgram(), DEFAULT_CONFIG, options=EngineOptions(enable_edgelog=enabled)).run(15)
         col = res.stats.reads.get("csr_col")
         elog = res.stats.reads.get("edgelog")
         rows.append((

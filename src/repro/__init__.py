@@ -50,7 +50,7 @@ from .errors import (
 from .graph import CSRGraph
 from .options import EngineOptions
 from .recovery import CheckpointData, CheckpointManager
-from .runner import ENGINES, resume, run
+from .runner import ENGINES, EngineInfo, engines, resume, run
 from .ssd import ChannelDegradation, FaultPlan, FaultRule, RetryPolicy
 from .verify import OracleEngine, compare_results
 
@@ -74,6 +74,8 @@ __all__ = [
     "XStream",
     "EngineOptions",
     "ENGINES",
+    "EngineInfo",
+    "engines",
     "run",
     "resume",
     "CSRGraph",

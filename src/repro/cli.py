@@ -198,6 +198,7 @@ def _parse_fault(spec: str, seed: int):
 
 
 def cmd_compute(args) -> int:
+    from . import engines as repro_engines
     from . import resume as repro_resume
     from . import run as repro_run
     from .config import small_test_config
@@ -206,6 +207,31 @@ def cmd_compute(args) -> int:
     from .recovery import CheckpointData, CheckpointManager
     from .ssd.filesystem import SimFS
 
+    all_engines = repro_engines()
+    if args.engine not in all_engines:
+        print(
+            f"unknown engine {args.engine!r}; choose from {', '.join(sorted(all_engines))}",
+            file=sys.stderr,
+        )
+        return 2
+    caps = all_engines[args.engine]
+    if args.resume_from and not caps.supports_resume:
+        capable = sorted(n for n, i in repro_engines().items() if i.supports_resume)
+        print(
+            f"engine {args.engine!r} does not support --resume-from "
+            f"(supported by: {', '.join(capable)})",
+            file=sys.stderr,
+        )
+        return 2
+    if args.checkpoint_every and not caps.supports_checkpoint:
+        capable = sorted(n for n, i in repro_engines().items() if i.supports_checkpoint)
+        print(
+            f"engine {args.engine!r} does not support --checkpoint-every "
+            f"(supported by: {', '.join(capable)})",
+            file=sys.stderr,
+        )
+        return 2
+
     weighted = args.weighted or args.algorithm in _NEEDS_WEIGHTS
     graph = _compute_dataset(args.dataset, args.scale, weighted)
     program = _compute_program(args.algorithm, args)
@@ -213,9 +239,14 @@ def cmd_compute(args) -> int:
     if args.cache_policy != "none" or args.cache_bytes is not None:
         # --cache-bytes alone implies the (only) real policy, clock.
         cfg = cfg.with_cache(policy="clock", cache_bytes=args.cache_bytes)
-    options = EngineOptions(
-        checkpoint_every=args.checkpoint_every, checkpoint_mode=args.checkpoint_mode
-    )
+    if args.workers is not None:
+        cfg = cfg.with_workers(args.workers)
+    opt_kwargs = {}
+    if caps.supports_checkpoint:
+        opt_kwargs = dict(
+            checkpoint_every=args.checkpoint_every, checkpoint_mode=args.checkpoint_mode
+        )
+    options = EngineOptions(**opt_kwargs)
 
     fs = SimFS(cfg)
     if args.fault:
@@ -257,7 +288,7 @@ def cmd_compute(args) -> int:
         if args.resume_from:
             result = repro_resume(graph, program, args.resume_from, **common)
         else:
-            result = repro_run(graph, program, engine="multilogvc", **common)
+            result = repro_run(graph, program, engine=args.engine, **common)
     except SimulatedCrashError as exc:
         print(f"simulated power loss: {exc}", file=sys.stderr)
         _save_checkpoint()
@@ -287,6 +318,20 @@ def cmd_info(_args) -> int:
           f"{cache_cfg.resolved_cache_bytes // 1024} KiB "
           f"({cache_cfg.cache_pages} pages; "
           f"{int(100 * cfg.memory.cache_fraction)}% of host DRAM)")
+    from . import engines as repro_engines
+
+    print("engines:")
+    for name, info in repro_engines().items():
+        flags = []
+        if info.supports_resume:
+            flags.append("resume")
+        if info.supports_checkpoint:
+            flags.append("checkpoint")
+        if info.in_memory:
+            flags.append("in-memory")
+        opts = ", ".join(sorted(info.options)) or "none"
+        print(f"  {name}: {' '.join(flags) or 'out-of-core'}")
+        print(f"    options: {opts}")
     from .graph.datasets import dataset_table
 
     print("bench-scale datasets:")
@@ -359,6 +404,12 @@ def build_parser() -> argparse.ArgumentParser:
                       help="cf, yws, rmat256, rmat512, chain, ring, grid, star, tiny, "
                            "two_components (default: rmat256)")
     comp.add_argument("--scale", choices=("test", "bench", "large"), default="test")
+    comp.add_argument("--engine", default="multilogvc",
+                      help="engine to run (see 'repro info' for capabilities; "
+                           "default: multilogvc)")
+    comp.add_argument("--workers", type=int, default=None, metavar="N",
+                      help="worker threads for the deterministic parallel interval "
+                           "executor (multilogvc; results are identical at any N)")
     comp.add_argument("--weighted", action="store_true",
                       help="use edge weights (implied by sssp)")
     comp.add_argument("--source", type=int, default=0, help="bfs/sssp source vertex")

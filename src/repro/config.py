@@ -22,6 +22,7 @@ or the convenience :meth:`SimConfig.with_memory` helpers.
 from __future__ import annotations
 
 import dataclasses
+import os
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -29,6 +30,20 @@ from .errors import ConfigError
 
 #: Number of bytes in one binary mebibyte; used for memory budgets.
 MIB = 1024 * 1024
+
+
+def _default_num_workers() -> int:
+    """Default worker count for the parallel interval executor.
+
+    Reads ``REPRO_NUM_WORKERS`` so the CI matrix can run the whole test
+    suite at ``num_workers=4`` without touching any call site; results
+    are bit-identical at any worker count (DESIGN.md §11), so this is a
+    coverage knob, not a tuning knob.
+    """
+    try:
+        return max(1, int(os.environ.get("REPRO_NUM_WORKERS", "1")))
+    except ValueError:
+        return 1
 
 
 @dataclass(frozen=True)
@@ -260,6 +275,13 @@ class SimConfig:
     #: produces bit-identical results and accounting because prefetched
     #: I/O charges are deferred and replayed in serial order.
     pipeline_depth: int = 1
+    #: Worker threads for the deterministic parallel interval executor
+    #: (DESIGN.md §11).  ``1`` reproduces strictly serial group
+    #: execution; any count yields bit-identical values, records and
+    #: traces because workers compute speculatively and commit in
+    #: canonical interval order.  The default honours the
+    #: ``REPRO_NUM_WORKERS`` environment variable (CI matrix knob).
+    num_workers: int = field(default_factory=_default_num_workers)
 
     def __post_init__(self) -> None:
         self.validate()
@@ -277,6 +299,8 @@ class SimConfig:
             raise ConfigError("mutation_merge_threshold must be >= 1")
         if self.pipeline_depth < 0:
             raise ConfigError("pipeline_depth must be >= 0")
+        if self.num_workers < 1:
+            raise ConfigError("num_workers must be >= 1")
         if self.cache_policy not in ("none", "clock"):
             raise ConfigError(
                 f"cache_policy must be 'none' or 'clock', got {self.cache_policy!r}"
@@ -303,6 +327,10 @@ class SimConfig:
     def with_pipeline_depth(self, depth: int) -> "SimConfig":
         """Return a copy with a different group-prefetch depth."""
         return dataclasses.replace(self, pipeline_depth=depth)
+
+    def with_workers(self, num_workers: int) -> "SimConfig":
+        """Return a copy with a different parallel-executor worker count."""
+        return dataclasses.replace(self, num_workers=num_workers)
 
     def with_cache(self, policy: str = "clock", cache_bytes: Optional[int] = None) -> "SimConfig":
         """Return a copy with the DRAM page cache configured.

@@ -128,16 +128,31 @@ class EdgeLogOptimizer:
         pages = np.repeat(firsts, counts) + offsets
         return np.unique(pages)
 
-    def charge_read(self, hit_vertices: np.ndarray) -> Tuple[float, int]:
-        """Charge reads of the log pages covering the given hit vertices."""
+    def charge_read(self, hit_vertices: np.ndarray, defer: bool = False) -> Tuple[float, int]:
+        """Charge reads of the log pages covering the given hit vertices.
+
+        ``defer=True`` (parallel executor, worker thread) skips the
+        cumulative accumulators -- they are checkpointed and gauge-read,
+        so their update order must stay canonical; the caller applies
+        them with :meth:`apply_read_tally` at the group's commit point.
+        The device charge itself is already deferred by the caller's
+        thread-local charge queue.
+        """
         pages = self.pages_of(hit_vertices)
         if pages.size == 0 or self._file_cur is None:
             return 0.0, 0
         _, t = self._file_cur.read_pages(pages)
+        if not defer:
+            with self._io_lock:
+                self.io_time_us += t
+                self.pages_read_total += int(pages.size)
+        return t, int(pages.size)
+
+    def apply_read_tally(self, t: float, n_pages: int) -> None:
+        """Apply a deferred read's accumulator deltas (commit point)."""
         with self._io_lock:
             self.io_time_us += t
-            self.pages_read_total += int(pages.size)
-        return t, int(pages.size)
+            self.pages_read_total += int(n_pages)
 
     # -- superstep boundary -------------------------------------------------------
 

@@ -35,16 +35,17 @@ from ..mem.budget import MemoryBudget
 from ..obs.context import current_tracer
 from ..obs.metrics import NULL_METRICS, MetricsRegistry
 from ..obs.tracer import Tracer
-from ..options import _UNSET, EngineOptions, apply_cache_options, resolve_options
+from ..options import _UNSET, EngineOptions, apply_config_options, resolve_options
 from ..recovery.checkpoint import CheckpointData, CheckpointManager
 from ..ssd.filesystem import SimFS
 from .active import ActiveTracker
 from .api import VertexContext, VertexProgram
 from .edgelog import EdgeLogOptimizer
 from .loader import GraphLoaderUnit
-from .multilog import MultiLogUnit
+from .multilog import ConsumeLedger, MultiLogUnit
 from .mutation import MutationBuffer
 from .pipeline import GroupPipeline, PreparedGroup, charge_rollup
+from .scheduler import GroupWork, OverlapModel, ParallelGroupScheduler, VertexWork
 from .results import ComputeMeter, RunResult, SuperstepRecord
 from .sortgroup import SortGroupUnit
 from .update import DATA_DTYPE, SRC_DTYPE, UpdateBatch
@@ -83,7 +84,8 @@ class MultiLogVC:
     progress:
         Called with each completed :class:`SuperstepRecord`.
     mode, enable_edgelog, enable_fusing, min_intervals, intervals:
-        Deprecated; merged into ``options`` with a DeprecationWarning.
+        Removed in API v1; passing one raises
+        :class:`~repro.errors.EngineError` with a migration hint.
     """
 
     name = "multilogvc"
@@ -108,6 +110,7 @@ class MultiLogVC:
         options = resolve_options(
             self.name,
             options,
+            fs=fs,
             mode=mode,
             enable_edgelog=enable_edgelog,
             enable_fusing=enable_fusing,
@@ -121,7 +124,7 @@ class MultiLogVC:
             )
         if program.uses_edge_state and program.mutates_structure:
             raise ProgramError("edge state plus structural mutation is not supported")
-        config = apply_cache_options(config, options, fs)
+        config = apply_config_options(config, options, fs)
         self.graph = graph
         self.program = program
         self.config = config
@@ -268,6 +271,24 @@ class MultiLogVC:
             # order-dependent; keep all cache traffic on the accounting
             # thread so stats and traces stay deterministic.
             depth = 0
+        # Parallel interval executor (DESIGN.md §11): speculate several
+        # groups concurrently, commit in canonical order.  The same
+        # conditions that force serial preparation force workers = 1 --
+        # they make group effects order-dependent before the commit
+        # point.  With workers > 1 the scheduler subsumes the depth-1
+        # group-prefetch pipeline entirely.
+        workers = cfg.num_workers
+        if self.mode != "sync" or mutations is not None:
+            workers = 1
+        if self.fs.device.fault_plan is not None or self.fs.cache is not None:
+            workers = 1
+        scheduler = None
+        overlap = None
+        if workers > 1:
+            depth = 0
+            scheduler = ParallelGroupScheduler(self.fs.device, workers)
+            overlap = OverlapModel(self.fs.device, workers)
+            overlap.register_metrics(reg)
         pipeline = GroupPipeline(self.fs.device, depth)
 
         converged = False
@@ -276,11 +297,14 @@ class MultiLogVC:
                 max_supersteps, records, pipeline, meter, tracker,
                 mlog_cur, mlog_next, sortgroup, loader, edgelog, mutations,
                 mutate_cb, values, prog, cfg, rng, start_step, ckpt_mgr,
+                scheduler, overlap,
             )
         except _Converged:
             converged = True
         finally:
             pipeline.close()
+            if scheduler is not None:
+                scheduler.close()
 
         if mutations is not None:
             mutations.merge_all()
@@ -369,6 +393,7 @@ class MultiLogVC:
         self, max_supersteps, records, pipeline, meter, tracker,
         mlog_cur, mlog_next, sortgroup, loader, edgelog, mutations,
         mutate_cb, values, prog, cfg, rng, start_step=0, ckpt_mgr=None,
+        scheduler=None, overlap=None,
     ) -> None:
         """Run supersteps until convergence (raises :class:`_Converged`)."""
         tracer = self.tracer
@@ -401,19 +426,21 @@ class MultiLogVC:
                     group_sizes=[len(g) for g in groups],
                 )
 
-            def prepare(group, mlog=mlog_cur, mnext=mlog_next, ids=active_ids):
+            def prepare(group, mlog=mlog_cur, mnext=mlog_next, ids=active_ids, ledger=None):
                 extra: Optional[UpdateBatch] = None
                 if self.mode == "async":
                     extra = mnext.consume(group)
                 sg = sortgroup.load_group(
-                    mlog, group, combine=prog.combine, extra=extra, charge_sort=False
+                    mlog, group, combine=prog.combine, extra=extra,
+                    charge_sort=False, ledger=ledger,
                 )
                 self_act = ids[(ids >= sg.vertex_lo) & (ids < sg.vertex_hi)]
                 verts = np.union1d(sg.unique_dests.astype(np.int64), self_act)
                 report = None
                 if verts.size:
                     report = loader.load_active(
-                        verts, prog.needs_weights, prog.uses_edge_state, edgelog
+                        verts, prog.needs_weights, prog.uses_edge_state, edgelog,
+                        defer=ledger is not None,
                     )
                 return PreparedGroup(list(group), sg, verts, report)
 
@@ -425,7 +452,20 @@ class MultiLogVC:
             hypo_ineff = 0
             avoided_ineff = 0
             avoided_pages = 0
-            for g_index, (prepared, charges) in enumerate(pipeline.run(groups, prepare)):
+            if scheduler is not None:
+                # Parallel executor path (DESIGN.md §11): speculate on
+                # worker threads, commit in canonical group order.  The
+                # serial loop below then sees an empty plan.
+                (
+                    processed, updates_processed, edges_scanned, ineff_pages,
+                    accessed_pages, hypo_ineff, avoided_ineff, avoided_pages,
+                ) = self._run_groups_parallel(
+                    groups, prepare, scheduler, overlap, meter, tracker,
+                    mlog_cur, mlog_next, sortgroup, loader, edgelog,
+                    values, prog, cfg, rng, step,
+                )
+            serial_groups = groups if scheduler is None else []
+            for g_index, (prepared, charges) in enumerate(pipeline.run(serial_groups, prepare)):
                 # Replay prefetched I/O charges and the deferred sort
                 # charge here, where serial execution would record them.
                 # This is also the trace emission site for prepared work:
@@ -472,8 +512,11 @@ class MultiLogVC:
                 # group in bulk (see repro.core.batch).
                 handled = False
                 if prog.supports_batch and mutations is None:
+                    def send_batch(dests, srcs, datas, mnext=mlog_next):
+                        mnext.ingest(UpdateBatch.of(dests, srcs, datas))
+
                     bctx, es_plan = self._build_batch(
-                        sg, verts, prog, mlog_next, rng, step, values
+                        sg, verts, prog, send_batch, rng, step, values
                     )
                     if prog.process_batch(bctx):
                         handled = True
@@ -598,12 +641,19 @@ class MultiLogVC:
                 inefficient_pages_predicted=avoided_ineff,
             )
             records.append(rec)
+            if overlap is not None:
+                # Fold this superstep into the overlap model whether or
+                # not tracing is on -- the scheduler.* gauges and the
+                # bench read the cumulative counters either way.
+                overlap.end_superstep(rec.storage_time_us, rec.compute_time_us)
             if tracer.enabled:
                 # Mirrors SuperstepRecord.to_dict() so trace roll-ups
                 # reconcile exactly with RunResult.supersteps.
                 tracer.emit("superstep_end", **rec.to_dict())
                 if self.fs.cache is not None:
                     tracer.emit("cache_stats", **self.fs.cache.snapshot())
+                if overlap is not None:
+                    tracer.emit("parallel_stats", **overlap.snapshot())
             if self.progress is not None:
                 self.progress(rec)
             tracker.advance()
@@ -647,9 +697,269 @@ class MultiLogVC:
             if prog.is_converged(values):
                 raise _Converged
 
+    # -- parallel interval executor (DESIGN.md §11) --------------------
+
+    def _speculate_group(self, group, prepare, prog, values, rng, step):
+        """Worker-thread half of the speculate/commit protocol.
+
+        Prepares the group (consume + sort + load) with all shared
+        accounting deferred -- device charges to the thread-local queue,
+        unit tallies to the group's :class:`ConsumeLedger`, loader
+        tallies to the :class:`LoadReport` -- then runs the vertex
+        program with every ``send`` buffered into the returned
+        :class:`GroupWork` instead of the live next-generation
+        multi-log.  Vertex-value and edge-state writes happen in place:
+        each vertex's slots are touched only by its own processing, so
+        the final array state is independent of group completion order.
+        """
+        ledger = ConsumeLedger()
+        prepared = prepare(group, ledger=ledger)
+        work = GroupWork(prepared=prepared, ledger=ledger)
+        verts = prepared.verts
+        if verts.size == 0:
+            return work
+        sg = prepared.sg
+        if prog.supports_batch:
+            sends = work.sends
+
+            def send_batch(dests, srcs, datas):
+                # Copy: the program may reuse its buffers after the
+                # call, and these batches outlive the speculation.
+                sends.append(
+                    UpdateBatch.of(
+                        np.array(dests, copy=True),
+                        np.array(srcs, copy=True),
+                        np.array(datas, copy=True),
+                    )
+                )
+
+            bctx, es_plan = self._build_batch(
+                sg, verts, prog, send_batch, rng, step, values
+            )
+            if prog.process_batch(bctx):
+                work.handled = True
+                work.bctx = bctx
+                work.es_plan = es_plan
+                return work
+            # Program declined the batch; any sends it made are kept and
+            # replayed before the scalar results, exactly as they would
+            # have landed inline.
+
+        upos = np.searchsorted(sg.unique_dests, verts)
+        k_updates = sg.unique_dests.shape[0]
+        for idx in range(verts.shape[0]):
+            v = int(verts[idx])
+            p = int(upos[idx])
+            if p < k_updates and sg.unique_dests[p] == v:
+                usrc, udata = sg.updates_for(p)
+            else:
+                usrc, udata = _EMPTY_SRC, _EMPTY_DATA
+            nb = self.storage.neighbors(v)
+            wt = (
+                self.storage.weights(v)
+                if (prog.needs_weights or prog.uses_edge_state)
+                else None
+            )
+            ops: List[tuple] = []
+
+            def send(dest, src, data, _ops=ops):
+                _ops.append(("send", int(dest), int(src), float(data)))
+
+            def send_many(dests, src, datas, _ops=ops):
+                _ops.append(
+                    (
+                        "send_many",
+                        np.array(dests, copy=True),
+                        int(src),
+                        np.array(datas, copy=True),
+                    )
+                )
+
+            ctx = VertexContext(
+                vid=v,
+                superstep=step,
+                values=values,
+                updates_src=usrc,
+                updates_data=udata,
+                out_neighbors=nb,
+                out_weights=wt if prog.needs_weights else None,
+                edge_state=wt if prog.uses_edge_state else None,
+                send=send,
+                send_many=send_many,
+                rng=rng,
+                mutate=None,
+            )
+            prog.process(ctx)
+            work.vertex_work.append(
+                VertexWork(
+                    vid=v,
+                    ops=ops,
+                    deactivated=ctx.deactivated,
+                    edge_state_dirty=ctx.edge_state_dirty,
+                    degree=int(nb.shape[0]),
+                    n_updates=int(usrc.shape[0]),
+                )
+            )
+        return work
+
+    def _run_groups_parallel(
+        self, groups, prepare, scheduler, overlap, meter, tracker,
+        mlog_cur, mlog_next, sortgroup, loader, edgelog,
+        values, prog, cfg, rng, step,
+    ):
+        """Commit speculated groups in canonical order (accounting thread).
+
+        Replays, per group and in exactly the serial code path's order:
+        the deferred device charges, the unit ledgers, the sort-cost
+        meter charge, the buffered sends into the live multi-log, the
+        active-tracker updates, the edge-log decisions (whose prediction
+        reads tracker state mutated by earlier groups' sends -- the
+        reason they cannot run during speculation), the edge-state
+        scatter/writeback and the trace events.  Returns the eight
+        superstep tallies the serial loop accumulates.
+        """
+        tracer = self.tracer
+        processed = 0
+        updates_processed = 0
+        edges_scanned = 0
+        ineff_pages = 0
+        accessed_pages = 0
+        hypo_ineff = 0
+        avoided_ineff = 0
+        avoided_pages = 0
+
+        def speculate(group):
+            return self._speculate_group(group, prepare, prog, values, rng, step)
+
+        for g_index, (work, charges) in enumerate(scheduler.run(groups, speculate)):
+            compute_before = meter.time_us
+            io_us = sum(op[4] for op in charges)
+            self.fs.device.commit(charges)
+            mlog_cur.apply_consume_ledger(work.ledger)
+            sortgroup.apply_ledger(work.ledger)
+            prepared = work.prepared
+            sg = prepared.sg
+            verts = prepared.verts
+            report = prepared.report
+            if report is not None:
+                loader.apply_report(report, edgelog)
+            meter.charge_sort(sg.sort_items)
+            if tracer.enabled:
+                io = charge_rollup(charges)
+                tracer.emit(
+                    "group_load",
+                    group=g_index,
+                    intervals=len(prepared.interval_ids),
+                    records=int(sg.sort_items),
+                    pages_by_class=io["read_pages_by_class"],
+                    io_time_us=io["io_time_us"],
+                )
+                tracer.emit(
+                    "group_sort",
+                    group=g_index,
+                    records=int(sg.sort_items),
+                    unique_dests=int(sg.unique_dests.shape[0]),
+                )
+            if verts.size == 0:
+                overlap.note_group(
+                    g_index, charges, io_us, meter.time_us - compute_before
+                )
+                continue
+            for useful in report.colidx_useful:
+                frac = useful / cfg.ssd.page_size
+                ineff_pages += int(
+                    ((useful > 0) & (frac < cfg.page_efficiency_threshold)).sum()
+                )
+            accessed_pages += report.data_pages
+            hypo_ineff += report.hypo_inefficient
+            avoided_ineff += report.avoided_inefficient
+            avoided_pages += max(0, report.hypo_pages - report.data_pages)
+            g_processed = 0
+            g_updates = 0
+            g_edges = 0
+            elog_before = edgelog.vertices_logged if edgelog is not None else 0
+
+            # Batch-path sends land inside process_batch in the serial
+            # order, before any tracker/meter updates -- replay first.
+            for b in work.sends:
+                mlog_next.ingest(b)
+            if work.handled:
+                bctx = work.bctx
+                stay = verts[bctx._stay_mask]
+                if stay.size:
+                    tracker.next_self[stay] = True
+                degs = bctx.degrees
+                g_processed = verts.shape[0]
+                g_updates = bctx.total_updates
+                g_edges = int(degs.sum())
+                meter.charge_vertices(verts.shape[0])
+                meter.charge_updates(int(sg.batch.n))
+                meter.charge_edges(g_edges)
+                if edgelog is not None:
+                    predicted = tracker.predict_active_next_many(verts)
+                    cand = predicted & report.vertex_page_inefficient & (degs > 0)
+                    for idx in np.flatnonzero(cand):
+                        edgelog.consider(int(verts[idx]), int(degs[idx]), True, True)
+                if work.es_plan is not None:
+                    off = 0
+                    for files, idx in work.es_plan:
+                        files.values.array[idx] = bctx.es_flat[off : off + idx.shape[0]]
+                        off += idx.shape[0]
+                    dirty_verts = verts[bctx._es_dirty]
+                    if dirty_verts.size:
+                        loader.writeback_edge_state(dirty_verts)
+            else:
+                dirty: List[int] = []
+                for idx, vw in enumerate(work.vertex_work):
+                    for op in vw.ops:
+                        if op[0] == "send":
+                            mlog_next.send(op[1], op[2], op[3])
+                        else:
+                            mlog_next.send_many(op[1], op[2], op[3])
+                    if not vw.deactivated:
+                        tracker.note_self_active(vw.vid)
+                    if vw.edge_state_dirty:
+                        dirty.append(vw.vid)
+                    g_processed += 1
+                    g_updates += vw.n_updates
+                    g_edges += vw.degree
+                    if edgelog is not None:
+                        predicted = tracker.predict_active_next(vw.vid)
+                        inefficient = bool(report.vertex_page_inefficient[idx])
+                        edgelog.consider(vw.vid, vw.degree, predicted, inefficient)
+                meter.charge_vertices(verts.shape[0])
+                meter.charge_updates(int(sg.batch.n))
+                meter.charge_edges(g_edges)
+                if dirty:
+                    loader.writeback_edge_state(np.asarray(dirty))
+
+            processed += g_processed
+            updates_processed += g_updates
+            edges_scanned += g_edges
+            if tracer.enabled:
+                tracer.emit(
+                    "group_process",
+                    group=g_index,
+                    vertices=int(g_processed),
+                    updates=int(g_updates),
+                    edges=int(g_edges),
+                    batched=work.handled,
+                )
+                if edgelog is not None:
+                    tracer.emit(
+                        "edgelog_decisions",
+                        group=g_index,
+                        logged=int(edgelog.vertices_logged - elog_before),
+                    )
+            overlap.note_group(g_index, charges, io_us, meter.time_us - compute_before)
+        return (
+            processed, updates_processed, edges_scanned, ineff_pages,
+            accessed_pages, hypo_ineff, avoided_ineff, avoided_pages,
+        )
+
     # ------------------------------------------------------------------
 
-    def _build_batch(self, sg, verts, prog, mlog_next, rng, step, values):
+    def _build_batch(self, sg, verts, prog, send_batch, rng, step, values):
         """Assemble the columnar :class:`~repro.core.batch.BatchContext`.
 
         Adjacency for the whole group is gathered with one vectorised
@@ -659,6 +969,11 @@ class MultiLogVC:
         scatter plan ``[(files, idx), ...]`` is returned so the engine
         can write mutations back (per-vertex ranges are disjoint, so
         gather/mutate/scatter is equivalent to scalar in-place writes).
+
+        ``send_batch`` is the outgoing-update sink: the inline path
+        routes straight into the next-generation multi-log, the parallel
+        executor buffers into the group's :class:`GroupWork` for replay
+        at commit.
         """
         from .batch import BatchContext, flatten_ranges
 
@@ -689,9 +1004,6 @@ class MultiLogVC:
         w_flat = vals_flat if need_w else None
         es_flat = vals_flat if need_es else None
         nb_offsets = np.concatenate([[0], np.cumsum(degrees)]).astype(np.int64)
-
-        def send_batch(dests, srcs, datas):
-            mlog_next.ingest(UpdateBatch.of(dests, srcs, datas))
 
         bctx = BatchContext(
             vids=verts,

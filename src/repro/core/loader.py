@@ -39,6 +39,10 @@ class LoadReport:
     val_pages: int = 0
     edgelog_pages: int = 0
     edgelog_hits: int = 0
+    #: edge-log portion of ``io_time_us``, kept separable so a deferred
+    #: load (parallel executor) can apply the edge-log unit's cumulative
+    #: tallies at the commit point
+    edgelog_io_time_us: float = 0.0
     #: useful bytes of each actually read colidx page (Fig. 3 histogram)
     colidx_useful: List[np.ndarray] = field(default_factory=list)
     #: hypothetical (no edge log) colidx page counts for Fig. 9
@@ -89,6 +93,7 @@ class GraphLoaderUnit:
         need_weights: bool,
         use_edge_state: bool,
         edgelog: Optional[EdgeLogOptimizer] = None,
+        defer: bool = False,
     ) -> LoadReport:
         """Charge the page loads for a sorted array of active vertices.
 
@@ -97,6 +102,12 @@ class GraphLoaderUnit:
         actual adjacency *data* is read by the engine straight from the
         storage arrays (simulation shortcut -- the I/O cost is what is
         modelled here).
+
+        ``defer=True`` (parallel executor, worker thread) leaves this
+        unit's and the edge log's shared cumulative tallies untouched;
+        the caller applies them from the report at the group's commit
+        point via :meth:`apply_report` (page reads themselves are
+        already deferred by the device's thread-local charge queue).
         """
         active = np.asarray(active, dtype=np.int64)
         report = LoadReport()
@@ -179,17 +190,28 @@ class GraphLoaderUnit:
         if edgelog is not None:
             hits_all = active[hit_all_mask]
             if hits_all.size:
-                t, n_pages = edgelog.charge_read(hits_all)
+                t, n_pages = edgelog.charge_read(hits_all, defer=defer)
                 report.io_time_us += t
+                report.edgelog_io_time_us += t
                 report.edgelog_pages += n_pages
         report.vertex_page_inefficient = ineff_flags
+        if not defer:
+            self._tally(report)
+        return report
+
+    def _tally(self, report: LoadReport) -> None:
         self.loads += 1
         self.rowptr_pages += report.rowptr_pages
         self.colidx_pages += report.colidx_pages
         self.val_pages += report.val_pages
         self.edgelog_pages += report.edgelog_pages
         self.edgelog_hits += report.edgelog_hits
-        return report
+
+    def apply_report(self, report: LoadReport, edgelog: Optional[EdgeLogOptimizer]) -> None:
+        """Apply a deferred load's cumulative tallies (commit point)."""
+        self._tally(report)
+        if edgelog is not None and report.edgelog_pages:
+            edgelog.apply_read_tally(report.edgelog_io_time_us, report.edgelog_pages)
 
     def writeback_edge_state(self, dirty: np.ndarray) -> float:
         """Charge value-page writes for vertices whose edge state changed.

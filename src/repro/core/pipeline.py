@@ -81,7 +81,8 @@ def charge_rollup(charges: List[ChargeOp]) -> dict:
     read_pages: dict = {}
     write_pages: dict = {}
     time_us = 0.0
-    for is_read, klass, pages, _nbytes, t in charges:
+    for op in charges:
+        is_read, klass, pages, _nbytes, t = op[:5]
         table = read_pages if is_read else write_pages
         table[klass] = table.get(klass, 0) + pages
         time_us += t

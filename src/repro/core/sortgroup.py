@@ -20,7 +20,7 @@ from ..config import SimConfig
 from ..mem.budget import MemoryBudget
 from ..obs.metrics import NULL_METRICS, MetricsRegistry
 from .combine import CombineSpec, combine_sorted
-from .multilog import MultiLogUnit
+from .multilog import ConsumeLedger, MultiLogUnit
 from .results import ComputeMeter
 from .update import UpdateBatch
 
@@ -128,6 +128,11 @@ class SortGroupUnit:
         self.groups_planned += len(groups)
         return groups
 
+    def apply_ledger(self, ledger: ConsumeLedger) -> None:
+        """Apply a worker-thread load_group's deferred tallies (commit)."""
+        self.groups_loaded += ledger.sort_groups
+        self.records_sorted += ledger.sort_records
+
     # -- load + sort + group ---------------------------------------------------
 
     def load_group(
@@ -137,6 +142,7 @@ class SortGroupUnit:
         combine: Optional[CombineSpec] = None,
         extra: Optional[UpdateBatch] = None,
         charge_sort: bool = True,
+        ledger: Optional[ConsumeLedger] = None,
     ) -> SortedGroup:
         """Consume an interval group's logs and sort/group them in memory.
 
@@ -145,8 +151,12 @@ class SortGroupUnit:
         the compute-meter charge; the caller charges
         ``SortedGroup.sort_items`` itself (the prefetch pipeline does
         this on the accounting thread to keep meter order serial).
+        ``ledger`` (parallel executor, worker thread) defers this unit's
+        and the multi-log's shared cumulative tallies to the commit
+        point; apply with :meth:`apply_ledger` /
+        :meth:`~repro.core.multilog.MultiLogUnit.apply_consume_ledger`.
         """
-        batch = multilog.consume(interval_ids)
+        batch = multilog.consume(interval_ids, ledger=ledger)
         if extra is not None and extra.n:
             batch = UpdateBatch.concat([batch, extra])
         overflowed = batch.n * self.config.records.update_bytes > self.budget.sort_bytes
@@ -159,8 +169,12 @@ class SortGroupUnit:
             batch, uniq, offsets = combine_sorted(batch, uniq, offsets, combine)
         lo = multilog.intervals.span(interval_ids[0])[0]
         hi = multilog.intervals.span(interval_ids[-1])[1]
-        self.groups_loaded += 1
-        self.records_sorted += sort_items
+        if ledger is None:
+            self.groups_loaded += 1
+            self.records_sorted += sort_items
+        else:
+            ledger.sort_groups += 1
+            ledger.sort_records += sort_items
         return SortedGroup(
             interval_ids=list(interval_ids),
             vertex_lo=lo,

@@ -50,6 +50,10 @@ TRACE_KINDS = frozenset(
         "edgelog_decisions",
         "mlog_rotate",
         "mlog_flush",
+        # parallel interval executor (DESIGN.md §11): one event per
+        # superstep when effective workers > 1, carrying run-cumulative
+        # (monotonically non-decreasing) overlap counters
+        "parallel_stats",
         # recovery subsystem
         "checkpoint_write",
         "recovery_load",

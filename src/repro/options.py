@@ -13,14 +13,15 @@ call::
 
 Each engine validates that the non-default options it received actually
 apply to it (asking GraphChi for ``adapted=True`` is an error, not a
-silent no-op).  The old per-engine keyword arguments keep working but
-emit a :class:`DeprecationWarning` and delegate here (see DESIGN.md).
+silent no-op).  The old per-engine keyword arguments were deprecated in
+the options consolidation and are **removed** as of API v1: passing one
+raises :class:`~repro.errors.EngineError` with a migration hint (see
+README "v1 API migration").
 """
 
 from __future__ import annotations
 
 import dataclasses
-import warnings
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, FrozenSet, Optional
 
@@ -81,6 +82,11 @@ class EngineOptions:
     cache_bytes:
         Explicit cache budget in bytes; defaults to the config's
         ``memory.cache_bytes_default`` when the cache is enabled.
+    num_workers:
+        Worker threads for MultiLogVC's deterministic parallel interval
+        executor (DESIGN.md §11).  ``None`` (default) inherits the
+        config's ``num_workers``; results are bit-identical at any
+        count.
     """
 
     mode: str = "sync"
@@ -95,9 +101,27 @@ class EngineOptions:
     checkpoint_mode: str = "full"
     cache_policy: Optional[str] = None
     cache_bytes: Optional[int] = None
+    num_workers: Optional[int] = None
 
-    def validate_for(self, engine: str) -> None:
-        """Reject non-default options the named engine does not consume."""
+    def replace(self, **changes) -> "EngineOptions":
+        """Return a copy with the given fields replaced.
+
+        Sugar over :func:`dataclasses.replace` so callers tweaking a
+        shared base options object do not need the dataclasses import::
+
+            base = EngineOptions(checkpoint_every=4)
+            fast = base.replace(num_workers=8)
+        """
+        return dataclasses.replace(self, **changes)
+
+    def validate_for(self, engine: str, fs: Optional["SimFS"] = None) -> None:
+        """Reject non-default options the named engine does not consume.
+
+        ``fs`` is the explicit file system handed to the engine, if any:
+        the page cache is constructed by :class:`~repro.ssd.SimFS` from
+        its config, so cache knobs combined with an explicit ``fs``
+        would be silently ignored -- that combination is an error here.
+        """
         relevant = RELEVANT_OPTIONS.get(engine)
         if relevant is None:
             raise EngineError(
@@ -114,6 +138,11 @@ class EngineOptions:
             raise EngineError(
                 f"option(s) {', '.join(stray)} do not apply to engine {engine!r} "
                 f"(it honours: {', '.join(sorted(relevant)) or 'none'})"
+            )
+        if fs is not None and (self.cache_policy is not None or self.cache_bytes is not None):
+            raise EngineError(
+                "cache_policy/cache_bytes cannot be combined with an explicit fs; "
+                "enable the cache on the SimConfig the fs was built from instead"
             )
         if self.mode not in ("sync", "async"):
             raise EngineError(f"mode must be 'sync' or 'async', got {self.mode!r}")
@@ -135,6 +164,8 @@ class EngineOptions:
             )
         if self.cache_bytes is not None and self.cache_bytes <= 0:
             raise EngineError("cache_bytes must be positive")
+        if self.num_workers is not None and self.num_workers < 1:
+            raise EngineError("num_workers must be >= 1")
 
 
 #: The page cache lives in the shared SSD file layer, so its knobs
@@ -153,6 +184,7 @@ RELEVANT_OPTIONS: Dict[str, FrozenSet[str]] = {
             "intervals",
             "checkpoint_every",
             "checkpoint_mode",
+            "num_workers",
         }
     )
     | _CACHE_OPTIONS,
@@ -165,50 +197,53 @@ RELEVANT_OPTIONS: Dict[str, FrozenSet[str]] = {
 }
 
 
-def apply_cache_options(
+def apply_config_options(
     config: "SimConfig", options: EngineOptions, fs: Optional["SimFS"]
 ) -> "SimConfig":
-    """Fold the options' cache knobs into ``config``.
+    """Fold the options' config-level knobs (cache, workers) into ``config``.
 
-    The page cache is constructed by :class:`~repro.ssd.SimFS` from its
-    config, so the knobs only take effect when the engine builds the
-    file system itself -- combining them with an explicit ``fs`` would
-    silently ignore them, which is an error instead.
+    The fs-conflict check lives in :meth:`EngineOptions.validate_for`
+    (which every engine runs via :func:`resolve_options` before calling
+    this), so this helper only folds.  ``fs`` is accepted for signature
+    stability and as a belt-and-braces guard for direct callers.
     """
-    if options.cache_policy is None and options.cache_bytes is None:
-        return config
-    if fs is not None:
-        raise EngineError(
-            "cache_policy/cache_bytes cannot be combined with an explicit fs; "
-            "enable the cache on the SimConfig the fs was built from instead"
-        )
-    policy = options.cache_policy if options.cache_policy is not None else "clock"
-    return config.with_cache(policy=policy, cache_bytes=options.cache_bytes)
+    if options.cache_policy is not None or options.cache_bytes is not None:
+        if fs is not None:
+            raise EngineError(
+                "cache_policy/cache_bytes cannot be combined with an explicit fs; "
+                "enable the cache on the SimConfig the fs was built from instead"
+            )
+        policy = options.cache_policy if options.cache_policy is not None else "clock"
+        config = config.with_cache(policy=policy, cache_bytes=options.cache_bytes)
+    if options.num_workers is not None:
+        config = config.with_workers(options.num_workers)
+    return config
 
 
-def resolve_options(engine: str, options: Optional[EngineOptions], **legacy) -> EngineOptions:
-    """Merge deprecated per-engine kwargs into an :class:`EngineOptions`.
+def resolve_options(
+    engine: str,
+    options: Optional[EngineOptions],
+    fs: Optional["SimFS"] = None,
+    **legacy,
+) -> EngineOptions:
+    """Validate (and default) the options object for ``engine``.
 
-    ``legacy`` values equal to :data:`_UNSET` were not passed.  Passing
-    any real legacy value emits a :class:`DeprecationWarning`; combining
-    legacy kwargs with an explicit ``options`` object is ambiguous and
-    raises.  The result is validated for ``engine``.
+    ``legacy`` catches the pre-v1 per-engine keyword arguments
+    (``mode=``, ``enable_edgelog=``, ``adapted=``, ...).  They were
+    deprecated when :class:`EngineOptions` consolidated the knobs and
+    are removed as of API v1: passing any real value (anything but the
+    :data:`_UNSET` sentinel) raises :class:`~repro.errors.EngineError`
+    with a migration hint.
     """
     passed = {k: v for k, v in legacy.items() if v is not _UNSET}
     if passed:
-        if options is not None:
-            raise EngineError(
-                f"pass either options=EngineOptions(...) or the deprecated "
-                f"keyword argument(s) {', '.join(sorted(passed))}, not both"
-            )
-        warnings.warn(
-            f"per-engine keyword argument(s) {', '.join(sorted(passed))} are "
-            f"deprecated; pass options=EngineOptions(...) or use repro.run()",
-            DeprecationWarning,
-            stacklevel=3,
+        ks = sorted(passed)
+        raise EngineError(
+            f"per-engine keyword argument(s) {', '.join(ks)} were removed in "
+            f"API v1; pass options=EngineOptions({', '.join(f'{k}=...' for k in ks)}) "
+            f"instead (or use repro.run(..., options=...))"
         )
-        options = EngineOptions(**passed)
-    elif options is None:
+    if options is None:
         options = EngineOptions()
-    options.validate_for(engine)
+    options.validate_for(engine, fs=fs)
     return options

@@ -36,8 +36,12 @@ from .checkpoint import CheckpointData, CheckpointManager
 #: run never saw.  The charged I/O itself still reconciles exactly --
 #: both runs restart from a cold cache at the cut (DESIGN.md §10) -- so
 #: timestamps, stats and every other event kind stay bit-identical.
+#: ``parallel_stats`` is cumulative the same way (and a crashed run
+#: under an armed fault plan executes serially, so it has no pre-cut
+#: overlap history at all); the committed values/records/stats it
+#: annotates reconcile exactly at any worker count (DESIGN.md §11).
 NON_RECONCILED_KINDS = frozenset(
-    {"run_begin", "run_resume", "recovery_load", "cache_stats"}
+    {"run_begin", "run_resume", "recovery_load", "cache_stats", "parallel_stats"}
 )
 
 

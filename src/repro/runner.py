@@ -23,7 +23,9 @@ returns the engine's :class:`~repro.core.results.RunResult` with its
 
 from __future__ import annotations
 
-from typing import Callable, Optional, Union
+import inspect
+from dataclasses import dataclass
+from typing import Callable, Dict, FrozenSet, Optional, Union
 
 from .baselines import GraFBoost, GraphChi, GridGraph, XStream
 from .config import DEFAULT_CONFIG, SimConfig
@@ -33,7 +35,7 @@ from .core.results import RunResult, SuperstepRecord
 from .errors import EngineError
 from .graph.csr import CSRGraph
 from .obs import MetricsRegistry, Tracer
-from .options import EngineOptions
+from .options import _CACHE_OPTIONS, RELEVANT_OPTIONS, EngineOptions
 from .recovery.checkpoint import CheckpointData
 from .ssd.filesystem import SimFS
 from .verify.oracle import OracleEngine
@@ -48,6 +50,58 @@ ENGINES = {
     "xstream": XStream,
     "oracle": OracleEngine,
 }
+
+
+@dataclass(frozen=True)
+class EngineInfo:
+    """Capability descriptor for one registered engine.
+
+    Derived from the engine class and :data:`~repro.options.RELEVANT_OPTIONS`
+    -- not hand-maintained, so it cannot drift from what the engine
+    actually accepts.
+
+    options:
+        The :class:`~repro.options.EngineOptions` field names this
+        engine consumes; any other non-default option raises.
+    supports_resume:
+        Whether ``run(..., resume_from=...)`` is accepted (checkpoint
+        restore; MultiLogVC only today).
+    supports_checkpoint:
+        Whether the engine can write crash-consistent checkpoints
+        (``checkpoint_every``).
+    in_memory:
+        True for engines that perform no simulated I/O (the oracle);
+        such engines ignore the shared file layer entirely.
+    """
+
+    options: FrozenSet[str]
+    supports_resume: bool
+    supports_checkpoint: bool
+    in_memory: bool
+
+
+def engines() -> Dict[str, EngineInfo]:
+    """Capability map for every registered engine, keyed like :data:`ENGINES`.
+
+    ::
+
+        >>> repro.engines()["multilogvc"].supports_resume
+        True
+        >>> [n for n, i in repro.engines().items() if i.in_memory]
+        ['oracle']
+    """
+    out: Dict[str, EngineInfo] = {}
+    for name, cls in ENGINES.items():
+        relevant = RELEVANT_OPTIONS[name]
+        out[name] = EngineInfo(
+            options=relevant,
+            supports_resume="resume_from" in inspect.signature(cls.run).parameters,
+            supports_checkpoint="checkpoint_every" in relevant,
+            # The page cache lives in the shared SSD file layer; an
+            # engine that honours no cache knob never touches it.
+            in_memory=not (relevant & _CACHE_OPTIONS),
+        )
+    return out
 
 #: Signature of the per-superstep progress hook.
 ProgressFn = Callable[[SuperstepRecord], None]
@@ -95,9 +149,11 @@ def run(
     cls = ENGINES.get(engine)
     if cls is None:
         raise EngineError(f"unknown engine {engine!r}; choose from {sorted(ENGINES)}")
-    if resume_from is not None and engine != "multilogvc":
+    if resume_from is not None and not engines()[engine].supports_resume:
+        capable = sorted(n for n, i in engines().items() if i.supports_resume)
         raise EngineError(
-            f"resume_from is only supported by the multilogvc engine, not {engine!r}"
+            f"engine {engine!r} does not support resume_from "
+            f"(supported by: {', '.join(capable)})"
         )
     if metrics is None:
         metrics = MetricsRegistry()

@@ -39,8 +39,32 @@ from .stats import SSDStats
 
 ChannelVector = Union[np.ndarray, Sequence[int]]
 
-#: One deferred charge: (is_read, klass, pages, bytes, simulated_us).
-ChargeOp = Tuple[bool, str, int, int, float]
+#: One deferred charge:
+#: ``(is_read, klass, pages, bytes, simulated_us, channel_pages)``.
+#: ``channel_pages`` is the per-channel page-count histogram of the
+#: batch (read charges only; ``None`` for writes and zero-page retry
+#: records).  :meth:`SimulatedSSD.commit` ignores it -- it exists for
+#: the parallel executor's overlap model (:func:`merge_overlap`), which
+#: needs to know which channels a speculatively prepared group kept
+#: busy.  Pre-histogram 5-tuples are still accepted everywhere.
+ChargeOp = Tuple[bool, str, int, int, float, Optional[np.ndarray]]
+
+
+def merge_overlap(lane_times_us: np.ndarray, channel_busy_us: np.ndarray) -> float:
+    """Makespan of concurrent worker lanes on a channel-parallel device.
+
+    The parallel interval executor models overlap without perturbing
+    the committed (worker-count-invariant) accounting: each worker lane
+    accumulates the simulated time of the groups it prepared, and every
+    group's read charges contribute a per-channel busy histogram.  The
+    overlapped execution cannot finish faster than the busiest lane
+    (compute + its own I/O waits) nor faster than the busiest flash
+    channel (pages on one channel are pipelined, never parallel), so
+    the makespan is the max of both bounds (DESIGN.md §11).
+    """
+    lane_max = float(lane_times_us.max()) if lane_times_us.size else 0.0
+    chan_max = float(channel_busy_us.max()) if channel_busy_us.size else 0.0
+    return max(lane_max, chan_max)
 
 
 class SimulatedSSD:
@@ -203,6 +227,9 @@ class SimulatedSSD:
         if channel_ids.size == 0:
             return 0.0
         counts = np.bincount(channel_ids, minlength=self._channels)
+        return self._batch_time_from_counts(counts, latency_us, read)
+
+    def _batch_time_from_counts(self, counts: np.ndarray, latency_us: float, read: bool = False) -> float:
         if read and self._any_degraded:
             # Degraded channels pay an ECC/read-retry latency multiplier.
             weighted = counts.astype(np.float64)
@@ -246,17 +273,48 @@ class SimulatedSSD:
             self._tls.queue = None
 
     def commit(self, ops: List[ChargeOp]) -> None:
-        """Record a queue of deferred charges, in order."""
-        for is_read, klass, pages, nbytes, t in ops:
+        """Record a queue of deferred charges, in order.
+
+        The channel histogram (6th element, when present) is overlap
+        metadata only; recorded stats are identical with or without it.
+        """
+        for op in ops:
+            is_read, klass, pages, nbytes, t = op[:5]
             if is_read:
                 self.stats.record_read(klass, pages, nbytes, t)
             else:
                 self.stats.record_write(klass, pages, nbytes, t)
 
-    def _charge(self, is_read: bool, klass: str, pages: int, nbytes: int, t: float) -> None:
+    def channel_busy_us(self, ops: List[ChargeOp]) -> np.ndarray:
+        """Per-channel busy time (us) implied by a deferred-charge queue.
+
+        Sums ``channel_pages * read_latency`` over every read charge
+        carrying a histogram.  Writes and retry records carry none (the
+        FTL stripes writes dynamically; commit-side writes are serial
+        anyway) and contribute nothing -- a conservative under-estimate
+        that can only shrink the modelled overlap win, never inflate it.
+        """
+        busy = np.zeros(self._channels, dtype=np.float64)
+        lat = self.config.ssd.read_latency_us
+        for op in ops:
+            hist = op[5] if len(op) > 5 else None
+            if hist is None:
+                continue
+            busy += hist * lat
+        return busy
+
+    def _charge(
+        self,
+        is_read: bool,
+        klass: str,
+        pages: int,
+        nbytes: int,
+        t: float,
+        channel_pages: Optional[np.ndarray] = None,
+    ) -> None:
         queue = getattr(self._tls, "queue", None)
         if queue is not None:
-            queue.append((is_read, klass, pages, nbytes, t))
+            queue.append((is_read, klass, pages, nbytes, t, channel_pages))
         elif is_read:
             self.stats.record_read(klass, pages, nbytes, t)
         else:
@@ -290,8 +348,9 @@ class SimulatedSSD:
             return 0.0
         if self.fault_plan is not None:
             self._fault_check(True, klass, arr)  # torn cannot fire on reads
-        t = self._batch_time(arr, self.config.ssd.read_latency_us, read=True)
-        self._charge(True, klass, int(arr.size), int(arr.size) * self._page_size, t)
+        counts = np.bincount(arr, minlength=self._channels)
+        t = self._batch_time_from_counts(counts, self.config.ssd.read_latency_us, read=True)
+        self._charge(True, klass, int(arr.size), int(arr.size) * self._page_size, t, counts)
         return t
 
     def write_batch(self, channel_ids: ChannelVector, klass: str) -> float:

@@ -242,6 +242,7 @@ def build_config(cdict: Dict[str, Any]) -> SimConfig:
         ),
         memory=MemoryConfig(total_bytes=int(cdict.get("total_bytes", 256 * 1024))),
         pipeline_depth=int(cdict.get("pipeline_depth", 1)),
+        num_workers=int(cdict.get("num_workers", 1)),
         cache_policy=str(cdict.get("cache_policy", "none")),
         cache_bytes=None if cache_bytes is None else int(cache_bytes),
     )
@@ -439,6 +440,10 @@ def _config_dict(rng: np.random.Generator) -> Dict[str, Any]:
         "total_bytes": total,
         "channels": int(rng.choice([1, 2, 4])),
         "pipeline_depth": int(rng.choice([0, 1, 2])),
+        # Parallel interval executor (DESIGN.md §11): results must be
+        # bit-identical at any worker count, so the oracle comparison
+        # doubles as a determinism check for the speculate/commit path.
+        "num_workers": int(rng.choice([1, 2, 4])),
     }
     # Page-cache dimension: a third of cases run with a deliberately
     # tiny cache (heavy eviction churn) -- values/records must not care.

@@ -25,6 +25,7 @@ from repro.algorithms import (
 from repro.algorithms.coloring import conflict_count, free_colors, smallest_free_color
 from repro.algorithms.cdlp import frequent_label
 from repro.graph.datasets import small_chain, small_grid, small_ring, small_rmat, small_star
+from repro.options import EngineOptions
 
 
 def norm_dist(d):
@@ -39,7 +40,7 @@ class TestBFS:
         assert np.array_equal(norm_dist(res.values), norm_dist(bfs_reference(g, 0)))
 
     def test_rmat(self, cfg, rmat256):
-        res = MultiLogVC(rmat256, BFSProgram(3), cfg, min_intervals=4).run(100)
+        res = MultiLogVC(rmat256, BFSProgram(3), cfg, options=EngineOptions(min_intervals=4)).run(100)
         assert np.array_equal(norm_dist(res.values), norm_dist(bfs_reference(rmat256, 3)))
 
     def test_unreachable_stay_infinite(self, cfg, two_comp):
@@ -87,7 +88,7 @@ class TestPageRank:
 
 class TestCDLP:
     def test_matches_lockstep_reference(self, cfg, rmat256):
-        res = MultiLogVC(rmat256, CommunityDetectionProgram(), cfg, min_intervals=4).run(15)
+        res = MultiLogVC(rmat256, CommunityDetectionProgram(), cfg, options=EngineOptions(min_intervals=4)).run(15)
         assert np.array_equal(res.values, cdlp_reference(rmat256, 15))
 
     def test_ring_converges_to_single_label(self, cfg):
@@ -110,7 +111,7 @@ class TestColoring:
         assert coloring_is_proper(g, res.values)
 
     def test_proper_on_rmat(self, cfg, rmat256):
-        res = MultiLogVC(rmat256, GraphColoringProgram(), cfg, min_intervals=4).run(60)
+        res = MultiLogVC(rmat256, GraphColoringProgram(), cfg, options=EngineOptions(min_intervals=4)).run(60)
         assert res.converged and coloring_is_proper(rmat256, res.values)
         assert conflict_count(rmat256, res.values) == 0
 
@@ -172,13 +173,13 @@ class TestWCC:
         assert np.array_equal(res.values, wcc_reference(two_comp))
 
     def test_rmat(self, cfg, rmat256):
-        res = MultiLogVC(rmat256, WCCProgram(), cfg, min_intervals=4).run(300)
+        res = MultiLogVC(rmat256, WCCProgram(), cfg, options=EngineOptions(min_intervals=4)).run(300)
         assert np.array_equal(res.values, wcc_reference(rmat256))
 
 
 class TestSSSP:
     def test_matches_dijkstra(self, cfg, rmat256w):
-        res = MultiLogVC(rmat256w, SSSPProgram(0), cfg, min_intervals=4).run(300)
+        res = MultiLogVC(rmat256w, SSSPProgram(0), cfg, options=EngineOptions(min_intervals=4)).run(300)
         ref = sssp_reference(rmat256w, 0)
         finite = np.isfinite(ref)
         assert np.abs(res.values[finite] - ref[finite]).max() < 1e-9

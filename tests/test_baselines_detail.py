@@ -8,6 +8,7 @@ from repro.core import InitialState, MultiLogVC, VertexProgram
 from repro.algorithms import BFSProgram, DeltaPageRankProgram, WCCProgram
 from repro.config import small_test_config
 from repro.graph.datasets import small_rmat
+from repro.options import EngineOptions
 
 
 class OnePingPerInterval(VertexProgram):
@@ -108,7 +109,7 @@ class TestGraFBoostCostModel:
 
     def test_adapted_sorts_more_than_combined(self, cfg, rmat256):
         plain = GraFBoost(rmat256, DeltaPageRankProgram(threshold=1e-9), cfg).run(3)
-        adapted = GraFBoost(rmat256, DeltaPageRankProgram(threshold=1e-9), cfg, adapted=True).run(3)
+        adapted = GraFBoost(rmat256, DeltaPageRankProgram(threshold=1e-9), cfg, options=EngineOptions(adapted=True)).run(3)
         sort_plain = plain.stats.reads.get("gfsort")
         sort_adapted = adapted.stats.reads.get("gfsort")
         if sort_plain and sort_adapted:
@@ -116,8 +117,8 @@ class TestGraFBoostCostModel:
 
     def test_smaller_fanout_more_passes(self, rmat256):
         cfg = small_test_config(total_bytes=96 * 1024)
-        wide = GraFBoost(rmat256, DeltaPageRankProgram(threshold=1e-9), cfg, merge_fanout=64).run(2)
-        narrow = GraFBoost(rmat256, DeltaPageRankProgram(threshold=1e-9), cfg, merge_fanout=2).run(2)
+        wide = GraFBoost(rmat256, DeltaPageRankProgram(threshold=1e-9), cfg, options=EngineOptions(merge_fanout=64)).run(2)
+        narrow = GraFBoost(rmat256, DeltaPageRankProgram(threshold=1e-9), cfg, options=EngineOptions(merge_fanout=2)).run(2)
         assert narrow.stats.reads["gfsort"].pages >= wide.stats.reads["gfsort"].pages
 
     def test_whole_graph_streamed_even_when_idle(self, cfg, rmat256):

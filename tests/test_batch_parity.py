@@ -28,6 +28,7 @@ from repro.algorithms import (
 )
 from repro.algorithms.coloring import coloring_is_proper
 from repro.algorithms.mis import is_independent_set, is_maximal
+from repro.options import EngineOptions
 
 
 def scalar_variant(prog):
@@ -55,8 +56,8 @@ def run_pair(factory, weighted, steps, mode, seed):
     """Run batch and scalar variants on the same graph; return both results."""
     cfg = small_test_config()
     g = graph_for(seed, weighted)
-    batch = MultiLogVC(g, factory(), cfg, mode=mode, min_intervals=4).run(steps)
-    scalar = MultiLogVC(g, scalar_variant(factory()), cfg, mode=mode, min_intervals=4).run(steps)
+    batch = MultiLogVC(g, factory(), cfg, options=EngineOptions(mode=mode, min_intervals=4)).run(steps)
+    scalar = MultiLogVC(g, scalar_variant(factory()), cfg, options=EngineOptions(mode=mode, min_intervals=4)).run(steps)
     return batch, scalar
 
 
@@ -131,7 +132,7 @@ class TestPipelineDeterminism:
         for depth in (0, 2):
             cfg = small_test_config().with_pipeline_depth(depth)
             results.append(
-                MultiLogVC(g, factory(), cfg, min_intervals=4).run(12, seed=0)
+                MultiLogVC(g, factory(), cfg, options=EngineOptions(min_intervals=4)).run(12, seed=0)
             )
         serial, piped = results
         assert np.array_equal(
@@ -164,7 +165,7 @@ class TestPipelineDeterminism:
         runs = []
         for depth in (0, 2):
             cfg = small_test_config().with_pipeline_depth(depth)
-            runs.append(MultiLogVC(g, WCCProgram(), cfg, mode="async").run(40, seed=0))
+            runs.append(MultiLogVC(g, WCCProgram(), cfg, options=EngineOptions(mode="async")).run(40, seed=0))
         assert np.array_equal(runs[0].values, runs[1].values)
         assert records_equal(runs[0].supersteps, runs[1].supersteps)
 

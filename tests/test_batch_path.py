@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.config import small_test_config
+from repro.options import EngineOptions
 from repro.core import MultiLogVC
 from repro.core.batch import BatchContext, flatten_ranges
 from repro.errors import ProgramError
@@ -47,8 +48,8 @@ class TestBatchScalarEquivalence:
         ],
     )
     def test_values_and_traces_match(self, cfg, rmat256, factory, steps):
-        a = MultiLogVC(rmat256, factory(), cfg, min_intervals=4).run(steps)
-        b = MultiLogVC(rmat256, scalar_variant(factory()), cfg, min_intervals=4).run(steps)
+        a = MultiLogVC(rmat256, factory(), cfg, options=EngineOptions(min_intervals=4)).run(steps)
+        b = MultiLogVC(rmat256, scalar_variant(factory()), cfg, options=EngineOptions(min_intervals=4)).run(steps)
         assert np.array_equal(
             np.nan_to_num(a.values, posinf=-1), np.nan_to_num(b.values, posinf=-1)
         )

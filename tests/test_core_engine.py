@@ -7,6 +7,7 @@ from repro.core import InitialState, MultiLogVC, VertexProgram
 from repro.core.update import UpdateBatch
 from repro.errors import EngineError, ProgramError
 from repro.graph.datasets import small_chain, small_rmat
+from repro.options import EngineOptions
 
 
 class PingProgram(VertexProgram):
@@ -98,14 +99,14 @@ class TestActivationRules:
 class TestModesAndOptions:
     def test_invalid_mode(self, cfg, chain16):
         with pytest.raises(EngineError):
-            MultiLogVC(chain16, PingProgram(), cfg, mode="turbo")
+            MultiLogVC(chain16, PingProgram(), cfg, options=EngineOptions(mode="turbo"))
 
     def test_async_mode_converges_faster_or_equal(self, cfg):
         from repro.algorithms import WCCProgram, wcc_reference
 
         g = small_chain(32)
-        sync = MultiLogVC(g, WCCProgram(), cfg, mode="sync").run(100)
-        async_ = MultiLogVC(g, WCCProgram(), cfg, mode="async").run(100)
+        sync = MultiLogVC(g, WCCProgram(), cfg, options=EngineOptions(mode="sync")).run(100)
+        async_ = MultiLogVC(g, WCCProgram(), cfg, options=EngineOptions(mode="async")).run(100)
         assert np.array_equal(sync.values, wcc_reference(g))
         assert np.array_equal(async_.values, wcc_reference(g))
         assert async_.n_supersteps <= sync.n_supersteps
@@ -113,21 +114,21 @@ class TestModesAndOptions:
     def test_edgelog_toggle_preserves_results(self, cfg, rmat256):
         from repro.algorithms import GraphColoringProgram
 
-        a = MultiLogVC(rmat256, GraphColoringProgram(), cfg, enable_edgelog=True).run(15)
-        b = MultiLogVC(rmat256, GraphColoringProgram(), cfg, enable_edgelog=False).run(15)
+        a = MultiLogVC(rmat256, GraphColoringProgram(), cfg, options=EngineOptions(enable_edgelog=True)).run(15)
+        b = MultiLogVC(rmat256, GraphColoringProgram(), cfg, options=EngineOptions(enable_edgelog=False)).run(15)
         assert np.array_equal(a.values, b.values)
 
     def test_edgelog_reduces_or_equals_colidx_reads(self, cfg, rmat256):
         from repro.algorithms import GraphColoringProgram
 
-        a = MultiLogVC(rmat256, GraphColoringProgram(), cfg, enable_edgelog=True).run(15)
-        b = MultiLogVC(rmat256, GraphColoringProgram(), cfg, enable_edgelog=False).run(15)
+        a = MultiLogVC(rmat256, GraphColoringProgram(), cfg, options=EngineOptions(enable_edgelog=True)).run(15)
+        b = MultiLogVC(rmat256, GraphColoringProgram(), cfg, options=EngineOptions(enable_edgelog=False)).run(15)
         col_a = a.stats.reads.get("csr_col").pages
         col_b = b.stats.reads.get("csr_col").pages
         assert col_a <= col_b
 
     def test_min_intervals(self, cfg, rmat256):
-        eng = MultiLogVC(rmat256, PingProgram(), cfg, min_intervals=6)
+        eng = MultiLogVC(rmat256, PingProgram(), cfg, options=EngineOptions(min_intervals=6))
         assert eng.intervals.n_intervals >= 6
 
     def test_conflicting_program_flags(self, cfg, chain16):
@@ -231,7 +232,7 @@ class TestStructuralUpdates:
                 ctx.deactivate()
 
         g = small_rmat(n=64, m=512, seed=1)
-        eng = MultiLogVC(g, PruneProgram(), cfg, min_intervals=3)
+        eng = MultiLogVC(g, PruneProgram(), cfg, options=EngineOptions(min_intervals=3))
         res = eng.run(3)
         g2 = eng.storage.rebuild_csr()
         g2.validate()

@@ -9,6 +9,7 @@ import numpy as np
 import pytest
 
 from repro.baselines import GraFBoost, GraphChi
+from repro.options import EngineOptions
 from repro.core import MultiLogVC
 from repro.errors import EngineError
 from repro.algorithms import (
@@ -45,12 +46,12 @@ NON_MERGEABLE = [
 class TestMultiLogVCvsGraphChi:
     @pytest.mark.parametrize("name,factory,steps", MERGEABLE + NON_MERGEABLE)
     def test_identical_values(self, cfg, rmat256, name, factory, steps):
-        a = MultiLogVC(rmat256, factory(), cfg, min_intervals=4).run(steps)
+        a = MultiLogVC(rmat256, factory(), cfg, options=EngineOptions(min_intervals=4)).run(steps)
         b = GraphChi(rmat256, factory(), cfg).run(steps)
         assert np.array_equal(norm(a.values), norm(b.values)), name
 
     def test_sssp_identical(self, cfg, rmat256w):
-        a = MultiLogVC(rmat256w, SSSPProgram(0), cfg, min_intervals=4).run(100)
+        a = MultiLogVC(rmat256w, SSSPProgram(0), cfg, options=EngineOptions(min_intervals=4)).run(100)
         b = GraphChi(rmat256w, SSSPProgram(0), cfg).run(100)
         assert np.array_equal(norm(a.values), norm(b.values))
 
@@ -79,17 +80,17 @@ class TestGraFBoost:
             GraFBoost(rmat256, CommunityDetectionProgram(), cfg)
 
     def test_adapted_mode_runs_non_mergeable(self, cfg, rmat256):
-        res = GraFBoost(rmat256, GraphColoringProgram(seed=1), cfg, adapted=True).run(40)
+        res = GraFBoost(rmat256, GraphColoringProgram(seed=1), cfg, options=EngineOptions(adapted=True)).run(40)
         assert coloring_is_proper(rmat256, res.values)
 
     def test_adapted_matches_mlvc(self, cfg, rmat256):
         a = MultiLogVC(rmat256, GraphColoringProgram(seed=1), cfg).run(20)
-        c = GraFBoost(rmat256, GraphColoringProgram(seed=1), cfg, adapted=True).run(20)
+        c = GraFBoost(rmat256, GraphColoringProgram(seed=1), cfg, options=EngineOptions(adapted=True)).run(20)
         assert np.array_equal(a.values, c.values)
 
     def test_engine_name_reflects_adaptation(self, cfg, rmat256):
         assert GraFBoost(rmat256, WCCProgram(), cfg).name == "grafboost"
-        assert GraFBoost(rmat256, WCCProgram(), cfg, adapted=True).name == "grafboost-adapted"
+        assert GraFBoost(rmat256, WCCProgram(), cfg, options=EngineOptions(adapted=True)).name == "grafboost-adapted"
 
 
 class TestIOCharacteristics:
@@ -97,7 +98,7 @@ class TestIOCharacteristics:
         """The paper's core claim at test scale: frontier workloads touch
         far fewer pages on MultiLogVC than on shard-sweeping GraphChi."""
         prog = lambda: RandomWalkProgram(source_stride=64, walkers_per_source=2, seed=0)
-        a = MultiLogVC(rmat256, prog(), cfg, min_intervals=4).run(11)
+        a = MultiLogVC(rmat256, prog(), cfg, options=EngineOptions(min_intervals=4)).run(11)
         b = GraphChi(rmat256, prog(), cfg).run(11)
         assert a.total_pages < b.total_pages
 

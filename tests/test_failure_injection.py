@@ -12,6 +12,7 @@ channel degradation.
 import dataclasses
 
 import numpy as np
+from repro.options import EngineOptions
 import pytest
 
 from repro import (
@@ -193,7 +194,7 @@ class TestProgramInjection:
             mutates_structure = True
 
         with pytest.raises(EngineError):
-            GraFBoost(chain16, P(), cfg, adapted=True)
+            GraFBoost(chain16, P(), cfg, options=EngineOptions(adapted=True))
 
     def test_graphchi_rejects_non_edge_send(self, cfg, chain16):
         from repro.baselines import GraphChi
@@ -211,7 +212,7 @@ class TestProgramInjection:
         from repro.algorithms import WCCProgram
 
         with pytest.raises(EngineError):
-            GraFBoost(chain16, WCCProgram(), cfg, merge_fanout=1)
+            GraFBoost(chain16, WCCProgram(), cfg, options=EngineOptions(merge_fanout=1))
 
 
 class TestProcessCrashPropagates:

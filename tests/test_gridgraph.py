@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.baselines import GridGraph
+from repro.options import EngineOptions
 from repro.core import MultiLogVC
 from repro.errors import EngineError
 from repro.algorithms import (
@@ -98,7 +99,7 @@ class TestAccessPattern:
                 ctx.value += 1.0  # stays active, sends nothing
 
         g = small_rmat(n=256, m=2048, seed=3)
-        eng = GridGraph(g, Quiet(), cfg, intervals=None)
+        eng = GridGraph(g, Quiet(), cfg, options=EngineOptions(intervals=None))
         if eng.intervals.n_intervals < 2:
             pytest.skip("single interval at this scale")
         res = eng.run(3)

@@ -23,11 +23,12 @@ from repro.algorithms import (
     sssp_reference,
 )
 from repro.graph.datasets import small_rmat, small_star, two_components
+from repro.options import EngineOptions
 
 
 class TestAsyncMode:
     def test_async_bfs_correct(self, cfg, rmat256):
-        res = MultiLogVC(rmat256, BFSProgram(0), cfg, mode="async").run(60)
+        res = MultiLogVC(rmat256, BFSProgram(0), cfg, options=EngineOptions(mode="async")).run(60)
         ref = bfs_reference(rmat256, 0)
         # Async may relax distances faster but the fixed point is the same.
         assert np.array_equal(
@@ -35,20 +36,19 @@ class TestAsyncMode:
         )
 
     def test_async_sssp_correct(self, cfg, rmat256w):
-        res = MultiLogVC(rmat256w, SSSPProgram(0), cfg, mode="async").run(120)
+        res = MultiLogVC(rmat256w, SSSPProgram(0), cfg, options=EngineOptions(mode="async")).run(120)
         ref = sssp_reference(rmat256w, 0)
         fin = np.isfinite(ref)
         assert np.abs(res.values[fin] - ref[fin]).max() < 1e-9
 
     def test_async_never_slower_in_supersteps(self, cfg, two_comp):
-        sync = MultiLogVC(two_comp, WCCProgram(), cfg, mode="sync").run(100)
-        asy = MultiLogVC(two_comp, WCCProgram(), cfg, mode="async").run(100)
+        sync = MultiLogVC(two_comp, WCCProgram(), cfg, options=EngineOptions(mode="sync")).run(100)
+        asy = MultiLogVC(two_comp, WCCProgram(), cfg, options=EngineOptions(mode="async")).run(100)
         assert asy.n_supersteps <= sync.n_supersteps
 
     def test_async_with_edgelog(self, cfg, rmat256):
         res = MultiLogVC(
-            rmat256, BFSProgram(0), cfg, mode="async", enable_edgelog=True
-        ).run(60)
+            rmat256, BFSProgram(0), cfg, options=EngineOptions(mode="async", enable_edgelog=True)).run(60)
         assert res.converged
 
 

@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.config import small_test_config
+from repro.options import EngineOptions
 from repro.core import MultiLogVC
 from repro.algorithms import GraphColoringProgram
 from repro.metrics import (
@@ -71,7 +72,7 @@ class TestRunDerivedMetrics:
     @pytest.fixture
     def run(self, rmat256):
         cfg = small_test_config()
-        return MultiLogVC(rmat256, GraphColoringProgram(), cfg, min_intervals=4).run(15), rmat256
+        return MultiLogVC(rmat256, GraphColoringProgram(), cfg, options=EngineOptions(min_intervals=4)).run(15), rmat256
 
     def test_activity_trace(self, run):
         res, g = run

@@ -231,19 +231,16 @@ class TestEngineOptions:
         with pytest.raises(EngineError, match="do not apply"):
             MultiLogVC(rmat256, pagerank(), cfg, options=EngineOptions(merge_fanout=8))
 
-    def test_legacy_kwargs_warn_and_work(self, cfg, rmat256):
-        with pytest.warns(DeprecationWarning, match="deprecated"):
-            legacy = MultiLogVC(rmat256, pagerank(), cfg, enable_edgelog=False)
-        assert legacy.options == EngineOptions(enable_edgelog=False)
-        modern = MultiLogVC(
-            rmat256, pagerank(), cfg, options=EngineOptions(enable_edgelog=False)
-        )
-        a = legacy.run(STEPS)
-        b = modern.run(STEPS)
-        assert np.array_equal(norm(a.values), norm(b.values))
+    def test_legacy_kwargs_removed(self, cfg, rmat256):
+        # The pre-v1 per-engine keyword arguments no longer work; the
+        # error names the offending kwargs and the EngineOptions path.
+        with pytest.raises(EngineError, match="removed in"):
+            MultiLogVC(rmat256, pagerank(), cfg, enable_edgelog=False)
+        with pytest.raises(EngineError, match="enable_edgelog=..."):
+            MultiLogVC(rmat256, pagerank(), cfg, enable_edgelog=False)
 
     def test_legacy_plus_options_rejected(self, cfg, rmat256):
-        with pytest.raises(EngineError, match="not both"):
+        with pytest.raises(EngineError, match="removed in"):
             MultiLogVC(
                 rmat256, pagerank(), cfg, mode="async", options=EngineOptions()
             )

@@ -8,6 +8,7 @@ from hypothesis import strategies as st
 from repro.config import small_test_config
 from repro.graph import CSRGraph, ShardedGraph, uniform_partition
 from repro.ssd import SimFS
+from repro.options import EngineOptions
 
 CFG = small_test_config()
 
@@ -81,7 +82,7 @@ class TestEngineProperties:
 
         _, s, d = erdos_renyi_edges(n, max(1, n * 2), seed=seed)
         g = CSRGraph.from_edges(n, s, d, symmetrize=True, dedup=True)
-        res = MultiLogVC(g, WCCProgram(), CFG, min_intervals=k).run(4 * n)
+        res = MultiLogVC(g, WCCProgram(), CFG, options=EngineOptions(min_intervals=k)).run(4 * n)
         assert np.array_equal(res.values, wcc_reference(g))
 
     @given(st.integers(8, 48), st.integers(0, 10_000))

@@ -11,6 +11,7 @@ from repro.experiments.common import ExperimentResult
 from repro.graph import CSRGraph
 from repro.graph.datasets import small_grid, small_rmat
 from repro.metrics import result_records, save_all, save_csv, save_json
+from repro.options import EngineOptions
 
 
 class TestTriangles:
@@ -87,7 +88,7 @@ class TestTrianglesOnLogEngines:
         from repro.baselines import GraFBoost
 
         g = small_rmat(n=96, m=512, seed=9)
-        res = GraFBoost(g, TriangleCountProgram(), cfg, adapted=True).run(3)
+        res = GraFBoost(g, TriangleCountProgram(), cfg, options=EngineOptions(adapted=True)).run(3)
         assert total_triangles(res.values) == triangles_reference(g)
 
     def test_matches_multilogvc(self, cfg):
@@ -96,5 +97,5 @@ class TestTrianglesOnLogEngines:
 
         g = small_rmat(n=96, m=512, seed=9)
         a = MultiLogVC(g, TriangleCountProgram(), cfg).run(3)
-        b = GraFBoost(g, TriangleCountProgram(), cfg, adapted=True).run(3)
+        b = GraFBoost(g, TriangleCountProgram(), cfg, options=EngineOptions(adapted=True)).run(3)
         assert np.array_equal(a.values, b.values)

@@ -47,6 +47,7 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 from repro.config import DEFAULT_CONFIG  # noqa: E402
 from repro.core import MultiLogVC  # noqa: E402
 from repro.obs import MetricsRegistry  # noqa: E402
+from repro.options import EngineOptions  # noqa: E402
 from repro.graph.datasets import cf_like  # noqa: E402
 from repro.algorithms import (  # noqa: E402
     CommunityDetectionProgram,
@@ -162,6 +163,57 @@ def measure_cache(scale: str, steps_scale: float):
     return out
 
 
+def measure_parallel(scale: str, steps_scale: float, workers: int):
+    """Simulated-latency comparison: serial vs the parallel interval executor.
+
+    The committed accounting (I/O time, compute time, values) is
+    bit-identical at any worker count by construction; what the
+    executor buys is *overlap* -- independent interval groups running on
+    separate lanes hide each other's latency, bounded by per-channel
+    device contention (DESIGN.md §11).  Modelled latency is
+    ``storage + compute - saved_us``.  All numbers are deterministic
+    simulation output, so they are machine-independent.
+    Returns None if any workload's parallel values differ from serial.
+    """
+    cfg = DEFAULT_CONFIG
+    # Fusing would merge the small intervals back into one group per
+    # superstep, leaving nothing to overlap; keep groups separate.
+    opts = EngineOptions(min_intervals=16, enable_fusing=False)
+    out = {}
+    for name, graph, factory, steps in build_workloads(scale, steps_scale):
+        serial = MultiLogVC(graph, factory(), cfg, options=opts).run(steps, seed=0)
+        reg = MetricsRegistry()
+        par = MultiLogVC(
+            graph, factory(), cfg.with_workers(workers), options=opts, metrics=reg
+        ).run(steps, seed=0)
+        same = np.array_equal(
+            np.nan_to_num(serial.values, posinf=-1),
+            np.nan_to_num(par.values, posinf=-1),
+        )
+        if not same:
+            print(f"ERROR: {name}: parallel values differ from serial", file=sys.stderr)
+            return None
+        snap = reg.snapshot()
+        saved = float(snap.get("scheduler.saved_us", 0.0))
+        serial_lat = serial.stats.total_time_us + serial.compute_time_us
+        par_lat = serial_lat - saved
+        reduction = saved / serial_lat if serial_lat > 0 else 0.0
+        row = {
+            "workers": int(workers),
+            "serial_latency_us": round(serial_lat, 1),
+            "parallel_latency_us": round(par_lat, 1),
+            "saved_us": round(saved, 1),
+            "latency_reduction": round(reduction, 4),
+            "values_identical": True,
+        }
+        out[name] = row
+        print(
+            f"{name:10s} serial={serial_lat:10.0f}us  W={workers}:"
+            f" {par_lat:10.0f}us  saved={100 * reduction:5.1f}%"
+        )
+    return out
+
+
 def check_regression(baseline_path: str, threshold: float, repeats: int) -> int:
     """CI gate: fail when any smoke speedup regresses past ``threshold``."""
     committed = json.loads(Path(baseline_path).read_text())
@@ -218,14 +270,41 @@ def check_regression(baseline_path: str, threshold: float, repeats: int) -> int:
                 )
             if got["hit_rate"] <= 0.0:
                 failed.append(f"{name}: cache hit rate is zero")
+    parallel_ref = committed.get("smoke", {}).get("parallel")
+    if parallel_ref:
+        workers = max(r["workers"] for r in parallel_ref.values())
+        par_now = measure_parallel("test", 0.4, workers)
+        if par_now is None:
+            return 1
+        for name, ref in parallel_ref.items():
+            got = par_now.get(name)
+            if got is None:
+                failed.append(f"{name}: kernel missing from parallel benchmark")
+                continue
+            floor = threshold * ref["latency_reduction"]
+            ok = got["latency_reduction"] >= floor and got["saved_us"] > 0.0
+            print(
+                f"{name:10s} parallel: committed saved={ref['latency_reduction']:.1%}  "
+                f"measured={got['latency_reduction']:.1%}  floor={floor:.1%}  "
+                f"{'ok' if ok else 'REGRESSED'}"
+            )
+            if got["latency_reduction"] < floor:
+                failed.append(
+                    f"{name}: parallel latency reduction "
+                    f"{got['latency_reduction']:.1%} fell below {floor:.1%} "
+                    f"({threshold:.0%} of committed {ref['latency_reduction']:.1%})"
+                )
+            if got["saved_us"] <= 0.0:
+                failed.append(f"{name}: parallel executor saved no simulated time")
     if failed:
         for msg in failed:
             print(f"ERROR: {msg}", file=sys.stderr)
         return 1
     n_cache = len(cache_ref) if cache_ref else 0
+    n_par = len(parallel_ref) if parallel_ref else 0
     print(
         f"benchmark gate OK ({len(reference)} kernels within {threshold:.0%} of "
-        f"reference; {n_cache} cache reference(s) validated)"
+        f"reference; {n_cache} cache and {n_par} parallel reference(s) validated)"
     )
     return 0
 
@@ -255,6 +334,12 @@ def main() -> int:
         help="also compare simulated I/O with the page cache on vs off "
              "(deterministic; lands in the report's 'cache' section)",
     )
+    ap.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="also compare simulated latency serial vs the parallel interval "
+             "executor at N workers (deterministic; lands in the report's "
+             "'parallel' section)",
+    )
     args = ap.parse_args()
 
     if args.check:
@@ -271,6 +356,12 @@ def main() -> int:
         print("-- page cache on vs off (simulated I/O) --")
         cache = measure_cache(scale, steps_scale)
         if cache is None:
+            return 1
+    parallel = None
+    if args.workers:
+        print(f"-- parallel interval executor, {args.workers} workers (simulated latency) --")
+        parallel = measure_parallel(scale, steps_scale, args.workers)
+        if parallel is None:
             return 1
 
     section = {
@@ -296,6 +387,8 @@ def main() -> int:
             "cache_policy": "clock",
             "cache_bytes": cfg.with_cache().resolved_cache_bytes,
         }
+    if parallel is not None:
+        section["parallel"] = parallel
 
     if args.smoke:
         if not args.out:

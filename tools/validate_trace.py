@@ -15,7 +15,11 @@ Checks, in order:
 4. ``cache_stats`` counters (hits/misses/evictions/insertions/
    invalidations) never decrease within a run segment -- the page
    cache's tallies are monotonic for the cache's lifetime even across
-   checkpoint cuts, so a drop means cache state was rebuilt mid-run.
+   checkpoint cuts, so a drop means cache state was rebuilt mid-run;
+5. ``parallel_stats`` counters (groups/spec_us/saved_us/makespan_us)
+   never decrease within a run segment -- the interval executor's
+   overlap model accumulates for the run's lifetime, so a drop means
+   scheduler state was silently reset.
 
 Any violation prints the offending line number and exits non-zero.
 
@@ -37,12 +41,16 @@ from repro.obs import TRACE_KINDS  # noqa: E402
 #: ``cache_stats`` fields that must be non-decreasing within a segment.
 CACHE_COUNTERS = ("hits", "misses", "evictions", "insertions", "invalidations")
 
+#: ``parallel_stats`` fields that must be non-decreasing within a segment.
+PARALLEL_COUNTERS = ("groups", "spec_us", "saved_us", "makespan_us")
+
 
 def validate_file(path: Path) -> list:
     """Return a list of violation strings for one trace file."""
     errors = []
     last_t = None
     last_cache = None
+    last_parallel = None
     segment_start = 0
     n_events = 0
     n_segments = 0
@@ -81,6 +89,7 @@ def validate_file(path: Path) -> list:
             # the page cache (a fresh SimFS means a fresh cache)
             last_t = None
             last_cache = None
+            last_parallel = None
             segment_start = lineno
             n_segments += 1
         if last_t is not None and t_us < last_t:
@@ -105,6 +114,22 @@ def validate_file(path: Path) -> list:
                         f"line {segment_start}"
                     )
             last_cache = ev
+        if kind == "parallel_stats":
+            for field in PARALLEL_COUNTERS:
+                cur = ev.get(field)
+                if not isinstance(cur, (int, float)) or isinstance(cur, bool):
+                    errors.append(
+                        f"{path}:{lineno}: parallel_stats missing/non-numeric {field!r}"
+                    )
+                    continue
+                prev = (last_parallel or {}).get(field)
+                if prev is not None and cur < prev:
+                    errors.append(
+                        f"{path}:{lineno}: parallel counter {field!r} decreased "
+                        f"({cur} < {prev}) within the run segment starting at "
+                        f"line {segment_start}"
+                    )
+            last_parallel = ev
     if n_events == 0 and not errors:
         errors.append(f"{path}: trace is empty")
     if not errors:
