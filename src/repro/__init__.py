@@ -52,6 +52,7 @@ from .options import EngineOptions
 from .recovery import CheckpointData, CheckpointManager
 from .runner import ENGINES, EngineInfo, engines, resume, run
 from .ssd import ChannelDegradation, FaultPlan, FaultRule, RetryPolicy
+from .stream import EdgeDelta, RecomputeResult, StreamSession, StreamStore
 from .verify import OracleEngine, compare_results
 
 __version__ = "1.0.0"
@@ -97,5 +98,9 @@ __all__ = [
     "ProgramError",
     "OracleEngine",
     "compare_results",
+    "EdgeDelta",
+    "RecomputeResult",
+    "StreamSession",
+    "StreamStore",
     "__version__",
 ]

@@ -60,6 +60,23 @@ class BFSProgram(VertexProgram):
             return False
         return float(np.isfinite(values).mean()) >= self.stop_fraction
 
+    def warm_start(self, graph, reverse, values, reset, inserted_src, inserted_dst, inserted_w, rng):
+        """Monotone min-propagation warm start (bit-exact; DESIGN.md §12).
+
+        Not offered under ``stop_fraction``: the early stop makes the
+        result schedule-dependent, so only a full run is reproducible.
+        """
+        if self.stop_fraction is not None:
+            return None
+        from ..stream.incremental import minprop_warm_start
+
+        return minprop_warm_start(
+            graph, reverse, values, reset, inserted_src, inserted_dst, inserted_w,
+            relax=lambda x, w: x + 1.0,
+            reset_values=np.full(len(reset), np.inf),
+            seed_vertex=self.source,
+        )
+
 
 def bfs_reference(graph: CSRGraph, source: int) -> np.ndarray:
     """Array-based reference BFS distances (vectorised frontier sweep)."""

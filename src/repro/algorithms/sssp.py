@@ -52,6 +52,17 @@ class SSSPProgram(VertexProgram):
             b.send_edge_values(relax, edge_data)
         return True
 
+    def warm_start(self, graph, reverse, values, reset, inserted_src, inserted_dst, inserted_w, rng):
+        """Monotone min-propagation warm start (bit-exact; DESIGN.md §12)."""
+        from ..stream.incremental import minprop_warm_start
+
+        return minprop_warm_start(
+            graph, reverse, values, reset, inserted_src, inserted_dst, inserted_w,
+            relax=lambda x, w: x + (1.0 if w is None else w),
+            reset_values=np.full(len(reset), np.inf),
+            seed_vertex=self.source,
+        )
+
 
 def sssp_reference(graph: CSRGraph, source: int) -> np.ndarray:
     """Dijkstra via scipy sparse graph machinery."""

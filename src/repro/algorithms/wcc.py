@@ -48,6 +48,23 @@ class WCCProgram(VertexProgram):
             b.send_along_edges(better & (b.degrees > 0), m)
         return True
 
+    def warm_start(self, graph, reverse, values, reset, inserted_src, inserted_dst, inserted_w, rng):
+        """Monotone min-propagation warm start (bit-exact; DESIGN.md §12).
+
+        WCC is self-seeded (every vertex's base value is its own id), so
+        cone vertices additionally "kick" their reset id along their
+        out-edges -- the superstep-0 broadcast a fresh run would do, which
+        a warm-started vertex receiving boundary messages would skip.
+        """
+        from ..stream.incremental import minprop_warm_start
+
+        return minprop_warm_start(
+            graph, reverse, values, reset, inserted_src, inserted_dst, inserted_w,
+            relax=lambda x, w: x,
+            reset_values=np.asarray(reset, dtype=np.float64),
+            kick_reset=True,
+        )
+
 
 def wcc_reference(graph: CSRGraph) -> np.ndarray:
     """Reference labels via networkx weakly connected components."""

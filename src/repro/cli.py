@@ -134,6 +134,14 @@ _COMPUTE_ALGORITHMS = ("pagerank", "bfs", "wcc", "sssp", "cdlp", "coloring", "mi
 #: Algorithms that require edge weights (forces ``--weighted``).
 _NEEDS_WEIGHTS = {"sssp"}
 
+#: Dataset names accepted by ``compute``/``ingest`` ``--dataset``.
+#: An argparse ``choices`` list, so ``--help`` shows the valid names and
+#: a typo exits immediately with the list instead of failing mid-run.
+_DATASET_NAMES = (
+    "cf", "yws",
+    "rmat256", "rmat512", "chain", "ring", "grid", "star", "tiny", "two_components",
+)
+
 
 def _compute_program(name: str, args):
     from . import algorithms as alg
@@ -231,6 +239,25 @@ def cmd_compute(args) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.resume_from and args.fault:
+        print(
+            "--resume-from and --fault conflict: the fault plan would arm against "
+            "the resumed run's fresh file system, not the crashed one; inject the "
+            "fault in the first run and resume in a second invocation",
+            file=sys.stderr,
+        )
+        return 2
+    if args.updates:
+        if args.resume_from:
+            print(
+                "--updates and --resume-from conflict: a checkpoint binds to the "
+                "graph it was computed on, which the update batch changes",
+                file=sys.stderr,
+            )
+            return 2
+        if not Path(args.updates).is_file():
+            print(f"--updates file not found: {args.updates}", file=sys.stderr)
+            return 2
 
     weighted = args.weighted or args.algorithm in _NEEDS_WEIGHTS
     graph = _compute_dataset(args.dataset, args.scale, weighted)
@@ -247,6 +274,9 @@ def cmd_compute(args) -> int:
             checkpoint_every=args.checkpoint_every, checkpoint_mode=args.checkpoint_mode
         )
     options = EngineOptions(**opt_kwargs)
+
+    if args.updates:
+        return _compute_with_updates(args, graph, program, cfg, options)
 
     fs = SimFS(cfg)
     if args.fault:
@@ -300,6 +330,207 @@ def cmd_compute(args) -> int:
     return 0
 
 
+def _read_update_records(path: str) -> list:
+    """Parse a JSONL update file (one ``{"op", "src", "dst", ...}`` per line)."""
+    import json
+
+    records = []
+    for lineno, line in enumerate(Path(path).read_text().splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            records.append(json.loads(line))
+        except json.JSONDecodeError as exc:
+            raise SystemExit(f"{path}:{lineno}: malformed JSON: {exc}")
+    return records
+
+
+def _compute_with_updates(args, graph, program, cfg, options) -> int:
+    """``compute --updates``: merge one batch, then run on the result."""
+    from .errors import GraphFormatError, SimulatedCrashError
+    from .obs import NULL_TRACER
+    from .stream import EdgeDelta, StreamSession
+
+    try:
+        delta = EdgeDelta.from_records(_read_update_records(args.updates))
+        delta.validate(graph.n)
+    except GraphFormatError as exc:
+        print(f"bad --updates file {args.updates}: {exc}", file=sys.stderr)
+        return 2
+
+    tracer = None
+    if args.trace:
+        from .obs import TraceRecorder
+
+        tracer = TraceRecorder()
+    session = StreamSession(
+        graph, program, engine=args.engine, config=cfg,
+        options=options.replace(recompute=args.recompute),
+        tracer=tracer if tracer is not None else NULL_TRACER,
+    )
+    if args.fault:
+        session.fs.device.install_faults(_parse_fault(args.fault, args.fault_seed))
+    try:
+        ing = session.ingest(delta)
+        app = session.apply_updates()
+        r = session.recompute(max_supersteps=args.max_supersteps, seed=args.seed)
+    except SimulatedCrashError as exc:
+        print(f"simulated power loss: {exc}", file=sys.stderr)
+        return 3
+    finally:
+        if tracer is not None:
+            from .obs import write_jsonl
+
+            write_jsonl(tracer.events, args.trace)
+            print(f"[trace: {len(tracer.events)} events written to {args.trace}]")
+    print(
+        f"[updates: {delta.n} records ({delta.n_adds} adds, {delta.n_deletes} deletes) "
+        f"merged in {ing['io_us'] + app['io_us']:.0f} us simulated I/O; "
+        f"recompute={r.mode} (changed {r.changed_edges} edges, "
+        f"{100 * r.changed_fraction:.1f}%)]"
+    )
+    print(r.result.summary())
+    return 0
+
+
+def cmd_ingest(args) -> int:
+    from . import engines as repro_engines
+    from .config import small_test_config
+    from .errors import GraphFormatError, SimulatedCrashError
+    from .obs import NULL_TRACER
+    from .options import EngineOptions
+    from .stream import EdgeDelta, StreamSession, random_delta
+
+    import numpy as np
+
+    if args.engine not in repro_engines():
+        print(
+            f"unknown engine {args.engine!r}; choose from "
+            f"{', '.join(sorted(repro_engines()))}",
+            file=sys.stderr,
+        )
+        return 2
+    if bool(args.updates) == bool(args.random):
+        print("exactly one of --updates FILE or --random N is required", file=sys.stderr)
+        return 2
+    if args.updates and not Path(args.updates).is_file():
+        print(f"--updates file not found: {args.updates}", file=sys.stderr)
+        return 2
+
+    weighted = args.algorithm in _NEEDS_WEIGHTS
+    graph = _compute_dataset(args.dataset, args.scale, weighted)
+    program = _compute_program(args.algorithm, args)
+    cfg = small_test_config() if args.scale == "test" else DEFAULT_CONFIG
+    if args.compact_threshold is not None or args.max_delta_fraction is not None:
+        cfg = cfg.with_stream(
+            compact_threshold=args.compact_threshold,
+            max_delta_fraction=args.max_delta_fraction,
+        )
+
+    tracer = None
+    if args.trace:
+        from .obs import TraceRecorder
+
+        tracer = TraceRecorder()
+    session = StreamSession(
+        graph, program, engine=args.engine, config=cfg,
+        options=EngineOptions(recompute=args.recompute),
+        tracer=tracer if tracer is not None else NULL_TRACER,
+    )
+
+    # Batch plan: a JSONL file is split evenly into --batches chunks;
+    # --random N generates N seeded ops per batch against the live edges.
+    if args.updates:
+        try:
+            all_records = _read_update_records(args.updates)
+            deltas = [
+                EdgeDelta.from_records([all_records[int(i)] for i in chunk])
+                for chunk in np.array_split(np.arange(len(all_records)), max(1, args.batches))
+                if len(chunk)
+            ]
+            for d in deltas:
+                d.validate(graph.n)
+        except GraphFormatError as exc:
+            print(f"bad --updates file {args.updates}: {exc}", file=sys.stderr)
+            return 2
+    else:
+        deltas = None  # generated per batch, against the evolving live set
+
+    rows = []
+    try:
+        base = session.recompute(max_supersteps=args.max_supersteps, seed=args.seed)
+        print(f"[baseline: {base.result.summary()}]")
+        n_batches = len(deltas) if deltas is not None else max(1, args.batches)
+        for b in range(n_batches):
+            if deltas is not None:
+                delta = deltas[b]
+            else:
+                rng = np.random.default_rng([args.seed, b])
+                ls, ld = session.store.live_edge_arrays()
+                delta = random_delta(
+                    rng, graph.n, ls, ld, args.random,
+                    weighted=weighted, ts0=1000 * b,
+                )
+            ing = session.ingest(delta)
+            app = session.apply_updates()
+            r = session.recompute(max_supersteps=args.max_supersteps, seed=args.seed)
+            row = {
+                "batch": b,
+                "seq": ing["seq"],
+                "records": delta.n,
+                "adds": delta.n_adds,
+                "deletes": delta.n_deletes,
+                "compactions": app["compactions"],
+                "mode": r.mode,
+                "changed_edges": r.changed_edges,
+                "seed_io_us": r.seed_io_us,
+                "engine_io_us": r.result.stats.total_time_us,
+                "supersteps": len(r.result.supersteps),
+            }
+            rows.append(row)
+            print(
+                f"batch {b}: seq={row['seq']} {row['records']} records "
+                f"({row['adds']}+/{row['deletes']}-), "
+                f"compactions={row['compactions']}, recompute={row['mode']} "
+                f"({row['supersteps']} supersteps, "
+                f"{row['seed_io_us'] + row['engine_io_us']:.0f} us simulated I/O)"
+            )
+    except SimulatedCrashError as exc:
+        print(f"simulated power loss: {exc}", file=sys.stderr)
+        return 3
+    finally:
+        if tracer is not None:
+            from .obs import write_jsonl
+
+            write_jsonl(tracer.events, args.trace)
+            print(f"[trace: {len(tracer.events)} events written to {args.trace}]")
+
+    snap = session.metrics.snapshot()
+    stream_keys = sorted(k for k in snap if k.startswith("stream."))
+    print("stream totals:")
+    for k in stream_keys:
+        v = snap[k]
+        print(f"  {k} = {v:.0f}" if isinstance(v, float) else f"  {k} = {v}")
+    if args.json:
+        import json
+
+        Path(args.json).write_text(
+            json.dumps(
+                {
+                    "dataset": args.dataset,
+                    "algorithm": args.algorithm,
+                    "batches": rows,
+                    "totals": {k: snap[k] for k in stream_keys},
+                },
+                indent=2,
+                default=float,
+            )
+            + "\n"
+        )
+        print(f"[json written to {args.json}]")
+    return 0
+
+
 def cmd_info(_args) -> int:
     cfg = DEFAULT_CONFIG
     print("default simulation configuration:")
@@ -348,6 +579,21 @@ def cmd_verify(args) -> int:
         outcome = replay_case(args.replay)
         print(outcome.describe())
         return 0 if outcome.ok else 1
+
+    if args.stream is not None:
+        from .verify import fuzz_stream
+
+        failures = []
+
+        def stream_progress(outcome):
+            if not outcome.ok or not args.quiet:
+                print(outcome.describe())
+            if not outcome.ok:
+                failures.append(outcome)
+
+        outcomes = fuzz_stream(args.seed, args.stream, progress=stream_progress)
+        print(f"{len(outcomes)} stream cases, {len(failures)} failures (seed={args.seed})")
+        return 1 if failures else 0
 
     engines = args.engines.split(",") if args.engines else None
     failures = []
@@ -400,9 +646,9 @@ def build_parser() -> argparse.ArgumentParser:
         help="one MultiLogVC run with checkpoint / resume / fault-injection controls",
     )
     comp.add_argument("algorithm", choices=_COMPUTE_ALGORITHMS)
-    comp.add_argument("--dataset", default="rmat256",
-                      help="cf, yws, rmat256, rmat512, chain, ring, grid, star, tiny, "
-                           "two_components (default: rmat256)")
+    comp.add_argument("--dataset", default="rmat256", choices=_DATASET_NAMES,
+                      metavar="NAME",
+                      help=f"one of: {', '.join(_DATASET_NAMES)} (default: rmat256)")
     comp.add_argument("--scale", choices=("test", "bench", "large"), default="test")
     comp.add_argument("--engine", default="multilogvc",
                       help="engine to run (see 'repro info' for capabilities; "
@@ -432,9 +678,50 @@ def build_parser() -> argparse.ArgumentParser:
                       help="inject a fault: KIND@OPS[:KLASS], KIND in crash/torn/error "
                            "(e.g. crash@40, torn@10:mlog, error@5:csr_col)")
     comp.add_argument("--fault-seed", type=int, default=0)
+    comp.add_argument("--updates", default=None, metavar="FILE",
+                      help="JSONL edge updates to merge before the run "
+                           "(conflicts with --resume-from)")
+    comp.add_argument("--recompute", choices=("auto", "incremental", "full"),
+                      default="auto",
+                      help="with --updates: warm-start policy (default: auto)")
     comp.add_argument("--trace", default=None, metavar="PATH",
                       help="record engine trace events and write them as JSONL")
     comp.set_defaults(func=cmd_compute)
+    ing = sub.add_parser(
+        "ingest",
+        help="stream edge updates into a graph and keep results fresh "
+             "(multi-log ingestion + incremental recomputation)",
+    )
+    ing.add_argument("algorithm", choices=_COMPUTE_ALGORITHMS)
+    ing.add_argument("--dataset", default="rmat256", choices=_DATASET_NAMES,
+                     metavar="NAME",
+                     help=f"one of: {', '.join(_DATASET_NAMES)} (default: rmat256)")
+    ing.add_argument("--scale", choices=("test", "bench", "large"), default="test")
+    ing.add_argument("--engine", default="multilogvc",
+                     help="engine for the recomputes (default: multilogvc)")
+    ing.add_argument("--updates", default=None, metavar="FILE",
+                     help="JSONL update records, split evenly into --batches chunks")
+    ing.add_argument("--random", type=int, default=None, metavar="N",
+                     help="generate N seeded random ops per batch instead of a file")
+    ing.add_argument("--batches", type=int, default=3, metavar="B",
+                     help="number of update batches (default: 3)")
+    ing.add_argument("--source", type=int, default=0, help="bfs/sssp source vertex")
+    ing.add_argument("--max-supersteps", type=int, default=50)
+    ing.add_argument("--seed", type=int, default=0)
+    ing.add_argument("--recompute", choices=("auto", "incremental", "full"),
+                     default="auto",
+                     help="warm-start policy per batch (default: auto)")
+    ing.add_argument("--compact-threshold", type=float, default=None, metavar="F",
+                     help="compact an interval when its garbage fraction exceeds F")
+    ing.add_argument("--max-delta-fraction", type=float, default=None, metavar="F",
+                     help="'auto' falls back to full recompute above this "
+                          "changed-edge fraction")
+    ing.add_argument("--trace", default=None, metavar="PATH",
+                     help="record trace events (ingest_stats/compaction included) "
+                          "and write them as JSONL")
+    ing.add_argument("--json", default=None, metavar="PATH",
+                     help="write per-batch stats and stream totals as JSON")
+    ing.set_defaults(func=cmd_ingest)
     sub.add_parser("info", help="show configuration and datasets").set_defaults(func=cmd_info)
     ver = sub.add_parser(
         "verify",
@@ -442,6 +729,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     ver.add_argument("--seed", type=int, default=0, help="fuzzer master seed")
     ver.add_argument("--cases", type=int, default=25, help="number of cases to run")
+    ver.add_argument("--stream", type=int, default=None, metavar="N",
+                     help="run N streaming-update differential cases instead "
+                          "(ingest/merge/recompute vs from-scratch oracle)")
     ver.add_argument("--engines", default=None,
                      help="comma list to restrict, e.g. multilogvc,graphchi")
     ver.add_argument("--shrink", action="store_true",

@@ -282,6 +282,16 @@ class SimConfig:
     #: canonical interval order.  The default honours the
     #: ``REPRO_NUM_WORKERS`` environment variable (CI matrix knob).
     num_workers: int = field(default_factory=_default_num_workers)
+    #: Streaming update store (DESIGN.md §12): an interval is compacted
+    #: -- its surviving edges rewritten as a fresh base CSR and its
+    #: delta log truncated -- when dead + tombstone records exceed this
+    #: fraction of the interval's total on-flash records.
+    stream_compact_threshold: float = 0.5
+    #: Incremental recompute (``recompute="auto"``) falls back to a full
+    #: run when the batch changes more than this fraction of the live
+    #: edge set; beyond it the warm-start's seed scan stops paying for
+    #: itself.
+    stream_max_delta_fraction: float = 0.25
 
     def __post_init__(self) -> None:
         self.validate()
@@ -313,6 +323,10 @@ class SimConfig:
             )
         if self.memory.sort_bytes < self.records.update_bytes:
             raise ConfigError("sort budget cannot hold a single update record")
+        if not 0.0 < self.stream_compact_threshold <= 1.0:
+            raise ConfigError("stream_compact_threshold must be in (0, 1]")
+        if not 0.0 <= self.stream_max_delta_fraction <= 1.0:
+            raise ConfigError("stream_max_delta_fraction must be in [0, 1]")
 
     # -- convenience constructors -------------------------------------
 
@@ -331,6 +345,19 @@ class SimConfig:
     def with_workers(self, num_workers: int) -> "SimConfig":
         """Return a copy with a different parallel-executor worker count."""
         return dataclasses.replace(self, num_workers=num_workers)
+
+    def with_stream(
+        self,
+        compact_threshold: Optional[float] = None,
+        max_delta_fraction: Optional[float] = None,
+    ) -> "SimConfig":
+        """Return a copy with different streaming-update knobs."""
+        kwargs = {}
+        if compact_threshold is not None:
+            kwargs["stream_compact_threshold"] = compact_threshold
+        if max_delta_fraction is not None:
+            kwargs["stream_max_delta_fraction"] = max_delta_fraction
+        return dataclasses.replace(self, **kwargs)
 
     def with_cache(self, policy: str = "clock", cache_bytes: Optional[int] = None) -> "SimConfig":
         """Return a copy with the DRAM page cache configured.

@@ -264,3 +264,32 @@ class VertexProgram(ABC):
     def is_converged(self, values: np.ndarray) -> bool:
         """Optional extra convergence test checked between supersteps."""
         return False
+
+    def warm_start(
+        self,
+        graph: CSRGraph,
+        reverse: CSRGraph,
+        values: np.ndarray,
+        reset: np.ndarray,
+        inserted_src: np.ndarray,
+        inserted_dst: np.ndarray,
+        inserted_w: Optional[np.ndarray],
+        rng: np.random.Generator,
+    ) -> Optional[InitialState]:
+        """Incremental-recompute seed after a structural update batch.
+
+        ``graph`` is the *updated* graph, ``reverse`` its transpose,
+        ``values`` the converged values on the pre-update graph, and
+        ``reset`` the vertex ids whose values may have depended on a
+        deleted edge (the deletion cone -- already computed by the stream
+        layer).  ``inserted_*`` describe the batch's inserted edges.
+
+        Return an :class:`InitialState` that, when run to convergence,
+        yields **bit-exact** the same values as a from-scratch run on
+        ``graph`` -- or ``None`` when the program cannot guarantee that
+        (the stream layer then falls back to a full recompute).  Only
+        programs with a unique fixed point independent of schedule
+        (monotone min-combine propagation: BFS/SSSP/WCC) can promise
+        this; see :func:`repro.stream.incremental.minprop_warm_start`.
+        """
+        return None

@@ -39,7 +39,7 @@ from ..options import _UNSET, EngineOptions, apply_config_options, resolve_optio
 from ..recovery.checkpoint import CheckpointData, CheckpointManager
 from ..ssd.filesystem import SimFS
 from .active import ActiveTracker
-from .api import VertexContext, VertexProgram
+from .api import InitialState, VertexContext, VertexProgram
 from .edgelog import EdgeLogOptimizer
 from .loader import GraphLoaderUnit
 from .multilog import ConsumeLedger, MultiLogUnit
@@ -159,6 +159,7 @@ class MultiLogVC:
         seed: int = 0,
         *,
         resume_from: Optional[CheckpointData] = None,
+        initial_state: Optional[InitialState] = None,
     ) -> RunResult:
         """Execute up to ``max_supersteps`` supersteps; returns the result.
 
@@ -173,7 +174,15 @@ class MultiLogVC:
         superstep.  The result is then equivalent to an uninterrupted
         run: same final values, same full superstep-record list, same
         stats, bit-identical post-cut trace (see DESIGN.md §8).
+
+        With ``initial_state``, the run starts from the supplied values,
+        active set and seed messages instead of the program's
+        :meth:`~repro.core.api.VertexProgram.initial` -- the stream
+        subsystem's warm-start path (DESIGN.md §12).  Mutually exclusive
+        with ``resume_from``.
         """
+        if initial_state is not None and resume_from is not None:
+            raise EngineError("initial_state and resume_from are mutually exclusive")
         cfg = self.config
         prog = self.program
         n = self.graph.n
@@ -232,7 +241,7 @@ class MultiLogVC:
         records: List[SuperstepRecord] = []
         start_step = 0
         if resume_from is None:
-            init = prog.initial(self.graph, rng)
+            init = initial_state if initial_state is not None else prog.initial(self.graph, rng)
             values = np.array(init.values, dtype=np.float64, copy=True)
             if values.shape[0] != n:
                 raise ProgramError("initial values must have one entry per vertex")

@@ -57,6 +57,12 @@ TRACE_KINDS = frozenset(
         # recovery subsystem
         "checkpoint_write",
         "recovery_load",
+        # streaming update subsystem (DESIGN.md §12): one ingest_stats
+        # event per ingested/applied batch (carrying a per-session
+        # monotonically increasing ``seq``), one compaction event per
+        # interval compaction
+        "ingest_stats",
+        "compaction",
         # DRAM page cache (file layer; emitted once per superstep)
         "cache_stats",
         # SSD fault injection (device layer)

@@ -87,6 +87,15 @@ class EngineOptions:
         executor (DESIGN.md §11).  ``None`` (default) inherits the
         config's ``num_workers``; results are bit-identical at any
         count.
+    recompute:
+        Streaming-update recompute policy (DESIGN.md §12), consumed by
+        :class:`~repro.stream.StreamSession` -- not by the engines
+        themselves, so the session strips it back to the default before
+        constructing an engine.  ``"auto"`` (default) warm-starts when
+        the program supports it and the delta fraction is under
+        ``SimConfig.stream_max_delta_fraction``; ``"incremental"``
+        warm-starts whenever the program supports it; ``"full"`` always
+        recomputes from scratch.
     """
 
     mode: str = "sync"
@@ -102,6 +111,7 @@ class EngineOptions:
     cache_policy: Optional[str] = None
     cache_bytes: Optional[int] = None
     num_workers: Optional[int] = None
+    recompute: str = "auto"
 
     def replace(self, **changes) -> "EngineOptions":
         """Return a copy with the given fields replaced.
@@ -166,6 +176,10 @@ class EngineOptions:
             raise EngineError("cache_bytes must be positive")
         if self.num_workers is not None and self.num_workers < 1:
             raise EngineError("num_workers must be >= 1")
+        if self.recompute not in ("auto", "incremental", "full"):
+            raise EngineError(
+                f"recompute must be 'auto', 'incremental' or 'full', got {self.recompute!r}"
+            )
 
 
 #: The page cache lives in the shared SSD file layer, so its knobs

@@ -72,12 +72,16 @@ class EngineInfo:
     in_memory:
         True for engines that perform no simulated I/O (the oracle);
         such engines ignore the shared file layer entirely.
+    supports_warm_start:
+        Whether ``run(..., initial_state=...)`` is accepted (the stream
+        subsystem's incremental-recompute entry, DESIGN.md §12).
     """
 
     options: FrozenSet[str]
     supports_resume: bool
     supports_checkpoint: bool
     in_memory: bool
+    supports_warm_start: bool = False
 
 
 def engines() -> Dict[str, EngineInfo]:
@@ -100,6 +104,7 @@ def engines() -> Dict[str, EngineInfo]:
             # The page cache lives in the shared SSD file layer; an
             # engine that honours no cache knob never touches it.
             in_memory=not (relevant & _CACHE_OPTIONS),
+            supports_warm_start="initial_state" in inspect.signature(cls.run).parameters,
         )
     return out
 
@@ -121,6 +126,7 @@ def run(
     max_supersteps: int = 15,
     seed: int = 0,
     resume_from: Optional[CheckpointData] = None,
+    initial_state=None,
 ) -> RunResult:
     """Run ``program`` on ``graph`` with the named engine.
 
@@ -145,6 +151,11 @@ def run(
         A :class:`~repro.recovery.CheckpointData` to restore before the
         first superstep (MultiLogVC only); see :func:`resume` for the
         path-accepting convenience wrapper.
+    initial_state:
+        An :class:`~repro.core.api.InitialState` to start from instead
+        of the program's ``initial()`` -- the stream subsystem's
+        warm-start entry (engines with ``supports_warm_start`` only).
+        Mutually exclusive with ``resume_from``.
     """
     cls = ENGINES.get(engine)
     if cls is None:
@@ -153,6 +164,12 @@ def run(
         capable = sorted(n for n, i in engines().items() if i.supports_resume)
         raise EngineError(
             f"engine {engine!r} does not support resume_from "
+            f"(supported by: {', '.join(capable)})"
+        )
+    if initial_state is not None and not engines()[engine].supports_warm_start:
+        capable = sorted(n for n, i in engines().items() if i.supports_warm_start)
+        raise EngineError(
+            f"engine {engine!r} does not support initial_state "
             f"(supported by: {', '.join(capable)})"
         )
     if metrics is None:
@@ -169,6 +186,8 @@ def run(
     )
     if resume_from is not None:
         return inst.run(max_supersteps=max_supersteps, seed=seed, resume_from=resume_from)
+    if initial_state is not None:
+        return inst.run(max_supersteps=max_supersteps, seed=seed, initial_state=initial_state)
     return inst.run(max_supersteps=max_supersteps, seed=seed)
 
 

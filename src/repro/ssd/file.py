@@ -173,6 +173,25 @@ class PageFile(SimFileBase):
         if self.cache is not None:
             self.cache.invalidate_file(self.name)
 
+    def truncate_to(self, n_pages: int) -> None:
+        """Discard every page past the first ``n_pages`` (recovery trim).
+
+        Stream-store recovery truncates a log back to its last durable
+        commit point; like :meth:`truncate`, the trim itself is free in
+        the model.  Page ids are reassigned on future appends, so the
+        whole file's cache residency is invalidated.
+        """
+        n = int(n_pages)
+        if n < 0 or n > len(self._payloads):
+            raise StorageError(
+                f"truncate_to({n}) out of range for file {self.name!r} "
+                f"with {len(self._payloads)} pages"
+            )
+        del self._payloads[n:]
+        del self._useful[n:]
+        if self.cache is not None:
+            self.cache.invalidate_file(self.name)
+
 
 def pages_for_ranges(
     starts: np.ndarray,

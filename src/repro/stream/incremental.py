@@ -1,0 +1,172 @@
+"""Incremental recomputation: warm-start seeding for monotone programs.
+
+The correctness argument (DESIGN.md §12)
+----------------------------------------
+A *monotone min-propagation* program (BFS, SSSP, WCC) computes the
+unique fixed point
+
+    L(v) = min( base(v),  min over edges u->v of relax(L(u), u->v) )
+
+where ``base`` is the self-seeded value (0 at the BFS/SSSP source,
+``id(v)`` for WCC, +inf otherwise) and ``relax`` is monotone in its
+first argument (``x+1``, ``x+w``, ``x``).  Because the fixed point is
+unique and min-combining can never undershoot it when every message is
+``>=`` the fixed point at its destination, *any* start state with
+
+1. values pointwise ``>=`` the new fixed point, and
+2. seed messages covering every entry point of an improving path
+
+converges to bit-exactly the same values as a from-scratch run.
+
+After an update batch, condition 1 is established by resetting the
+**deletion cone** -- every old-graph descendant of a deleted edge's
+head -- back to ``base``: a value derived through a deleted edge
+belongs to a vertex in the cone, so surviving values outside it remain
+valid over-estimates.  Condition 2 is established by seeding
+
+* the source vertex (BFS/SSSP),
+* every surviving in-edge ``x -> r`` crossing into the cone with
+  ``relax(values[x])``,
+* every inserted edge ``u -> w`` from outside the cone with
+  ``relax(values[u])``, and
+* for self-seeded programs (WCC), each reset vertex's own ``base``
+  relaxed along its out-edges (the "kick" a fresh run performs in
+  superstep 0 -- warm-started vertices that receive boundary messages
+  would otherwise never broadcast their own id).
+
+Schedule-dependent programs (PageRank, CDLP, ...) make no such promise
+and take the full-recompute path; their ``warm_start`` returns None.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from ..core.api import InitialState
+from ..core.update import UpdateBatch
+from ..graph.csr import CSRGraph
+
+
+def descendants(graph: CSRGraph, roots: np.ndarray) -> np.ndarray:
+    """Sorted vertex ids reachable from ``roots`` (roots included).
+
+    Vectorised frontier BFS over the CSR; used to compute the deletion
+    cone on the *pre-update* graph.
+    """
+    roots = np.unique(np.asarray(roots, dtype=np.int64))
+    seen = np.zeros(graph.n, dtype=bool)
+    if roots.size == 0:
+        return roots
+    seen[roots] = True
+    frontier = roots
+    while frontier.size:
+        starts = graph.rowptr[frontier]
+        stops = graph.rowptr[frontier + 1]
+        counts = stops - starts
+        total = int(counts.sum())
+        if total == 0:
+            break
+        cum = np.cumsum(counts)
+        idx = np.arange(total, dtype=np.int64) - np.repeat(cum - counts, counts)
+        nbrs = graph.colidx[np.repeat(starts, counts) + idx].astype(np.int64)
+        nbrs = np.unique(nbrs)
+        frontier = nbrs[~seen[nbrs]]
+        seen[frontier] = True
+    return np.flatnonzero(seen).astype(np.int64)
+
+
+def _expand_rows(graph: CSRGraph, vertices: np.ndarray):
+    """Gather the CSR rows of ``vertices``: (srcs, dsts, weights|None)."""
+    starts = graph.rowptr[vertices]
+    stops = graph.rowptr[vertices + 1]
+    counts = stops - starts
+    total = int(counts.sum())
+    if total == 0:
+        e = np.empty(0, np.int64)
+        return e, e, (np.empty(0, np.float64) if graph.weights is not None else None)
+    cum = np.cumsum(counts)
+    idx = np.arange(total, dtype=np.int64) - np.repeat(cum - counts, counts)
+    pos = np.repeat(starts, counts) + idx
+    srcs = np.repeat(vertices, counts)
+    dsts = graph.colidx[pos].astype(np.int64)
+    w = graph.weights[pos] if graph.weights is not None else None
+    return srcs, dsts, w
+
+
+def minprop_warm_start(
+    graph: CSRGraph,
+    reverse: CSRGraph,
+    values: np.ndarray,
+    reset: np.ndarray,
+    inserted_src: np.ndarray,
+    inserted_dst: np.ndarray,
+    inserted_w: Optional[np.ndarray],
+    *,
+    relax: Callable[[np.ndarray, Optional[np.ndarray]], np.ndarray],
+    reset_values: np.ndarray,
+    seed_vertex: Optional[int] = None,
+    kick_reset: bool = False,
+) -> InitialState:
+    """Build the warm :class:`InitialState` for a min-propagation program.
+
+    Parameters
+    ----------
+    graph, reverse:
+        The *updated* graph and its transpose (``reverse.weights``
+        aligned with the reversed edges).
+    values:
+        Converged values on the pre-update graph.
+    reset:
+        The deletion cone (old-graph descendants of deleted-edge heads).
+    inserted_src, inserted_dst, inserted_w:
+        The batch's inserted edges (``inserted_w`` None when unweighted).
+    relax:
+        ``relax(x, w) -> message data`` along an edge; monotone in ``x``.
+    reset_values:
+        Base value per cone vertex, aligned with ``reset``.
+    seed_vertex:
+        BFS/SSSP source to re-seed with 0 (always safe: a no-op when the
+        source already holds 0).
+    kick_reset:
+        Self-seeded programs (WCC): relax each cone vertex's base value
+        along its out-edges.
+    """
+    warm = np.array(values, dtype=np.float64, copy=True)
+    reset = np.asarray(reset, dtype=np.int64)
+    warm[reset] = np.asarray(reset_values, dtype=np.float64)
+    in_reset = np.zeros(graph.n, dtype=bool)
+    in_reset[reset] = True
+
+    seeds = []
+    if seed_vertex is not None:
+        seeds.append(UpdateBatch.of([seed_vertex], [seed_vertex], [0.0]))
+
+    # Surviving in-edges crossing into the cone, x -> r with x outside.
+    if reset.size:
+        r_dst, x_src, w_rev = _expand_rows(reverse, reset)
+        keep = ~in_reset[x_src] & np.isfinite(warm[x_src])
+        if keep.any():
+            data = relax(warm[x_src[keep]], None if w_rev is None else w_rev[keep])
+            seeds.append(UpdateBatch.of(r_dst[keep], x_src[keep], data))
+
+    # Inserted edges whose tail keeps a (finite) surviving value.
+    ins_src = np.asarray(inserted_src, dtype=np.int64)
+    ins_dst = np.asarray(inserted_dst, dtype=np.int64)
+    if ins_src.size:
+        keep = ~in_reset[ins_src] & np.isfinite(warm[ins_src])
+        if keep.any():
+            w_ins = None if inserted_w is None else np.asarray(inserted_w, np.float64)[keep]
+            data = relax(warm[ins_src[keep]], w_ins)
+            seeds.append(UpdateBatch.of(ins_dst[keep], ins_src[keep], data))
+
+    # Self-seed kicks: each cone vertex broadcasts its own base value.
+    if kick_reset and reset.size:
+        k_src, k_dst, k_w = _expand_rows(graph, reset)
+        if k_src.size:
+            data = relax(warm[k_src], k_w)
+            seeds.append(UpdateBatch.of(k_dst, k_src, data))
+
+    messages = UpdateBatch.concat(seeds) if seeds else None
+    return InitialState(values=warm, active=np.empty(0, np.int64), messages=messages)

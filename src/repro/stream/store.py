@@ -1,0 +1,573 @@
+"""The on-flash evolving-graph store: base CSR + delta pages + tombstones.
+
+Layout (DESIGN.md §12).  Each vertex interval ``i`` owns
+
+* ``stream.i{i}.rowptr/.col/.val`` -- the interval's *base* CSR
+  (:class:`~repro.ssd.file.ArrayFile`, page-exact charging), rebuilt at
+  compaction;
+* ``stream.i{i}.delta`` -- an append-only :class:`PageFile` of update
+  records merged from the ingest log: inserts append live edges,
+  deletes append tombstones that kill every live instance of their
+  ``(src, dst)`` pair (base or previously inserted);
+* ``stream.ulog.i{i}`` -- the ingest-side :class:`UpdateLog`.
+
+``stream.meta`` is the commit log: an ``ingest`` marker seals each
+batch's update-log pages, an ``applied`` marker seals its delta pages.
+Pages are tagged with the batch sequence number and sequence numbers
+only grow, so recovery after a simulated power cut is three suffix
+trims (meta tail is self-sealing, update log and delta logs trim to the
+respective markers) followed by a deterministic host-index replay --
+see :meth:`StreamStore.recover`.
+
+Compaction.  A delete leaves its victim's bytes on flash (dead base or
+delta records) plus its own tombstone record.  When that garbage
+exceeds ``SimConfig.stream_compact_threshold`` of an interval's
+records, the interval is compacted: surviving edges are read, rewritten
+as a fresh base CSR, and the delta log truncated.  All device charges
+happen *before* the host-state swap, so a crash mid-compaction leaves
+the old state fully intact; the swap plus truncate are free host
+operations, after which durable state is already consistent -- no meta
+record needed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..config import SimConfig
+from ..errors import StorageError
+from ..graph.csr import CSRGraph
+from ..graph.partition import VertexIntervals, partition_by_update_volume
+from ..obs.metrics import NULL_METRICS, MetricsRegistry
+from ..obs.tracer import NULL_TRACER, Tracer
+from ..ssd.filesystem import SimFS
+from .delta import OP_DELETE, RECORD_BYTES, EdgeDelta
+from .updatelog import UpdateLog
+
+#: Storage classes of the stream store's files.
+KLASS_ROW = "stream_row"
+KLASS_COL = "stream_col"
+KLASS_VAL = "stream_val"
+KLASS_DELTA = "stream_delta"
+KLASS_META = "stream_meta"
+
+
+@dataclass
+class _IntervalIndex:
+    """Host-side index of one interval's live/dead records.
+
+    Purely derived state: rebuilt at recovery by replaying the
+    interval's (durable) delta pages over its base CSR.
+    """
+
+    base_alive: np.ndarray
+    d_src: List[int] = field(default_factory=list)
+    d_dst: List[int] = field(default_factory=list)
+    d_w: List[float] = field(default_factory=list)
+    d_alive: List[bool] = field(default_factory=list)
+    tombstones: int = 0
+    dead_base: int = 0
+    dead_delta: int = 0
+
+    @property
+    def live_base(self) -> int:
+        return int(np.count_nonzero(self.base_alive))
+
+    @property
+    def live_delta(self) -> int:
+        return sum(self.d_alive)
+
+    @property
+    def total_records(self) -> int:
+        """Records occupying flash: base edges + delta inserts + tombstones."""
+        return int(self.base_alive.size) + len(self.d_src) + self.tombstones
+
+    @property
+    def garbage_records(self) -> int:
+        """Records compaction would reclaim."""
+        return self.dead_base + self.dead_delta + self.tombstones
+
+
+class StreamStore:
+    """Evolving graph on the simulated SSD with multi-log-style updates."""
+
+    def __init__(
+        self,
+        graph: CSRGraph,
+        fs: SimFS,
+        config: SimConfig,
+        *,
+        name: str = "stream",
+        intervals: Optional[VertexIntervals] = None,
+        tracer: Tracer = NULL_TRACER,
+        metrics: MetricsRegistry = NULL_METRICS,
+    ) -> None:
+        self.n = graph.n
+        self.fs = fs
+        self.config = config
+        self.name = name
+        self.tracer = tracer
+        self.metrics = metrics
+        self.weighted = graph.weights is not None
+        if intervals is None:
+            intervals = partition_by_update_volume(
+                graph, config.memory.sort_bytes, config.records.update_bytes
+            )
+        self.intervals = intervals
+        rec = config.records
+        self._rowptr_files = []
+        self._col_files = []
+        self._val_files = []
+        self._delta_files = []
+        self._index: List[_IntervalIndex] = []
+        for i, lo, hi in intervals:
+            local_rowptr = graph.rowptr[lo : hi + 1] - graph.rowptr[lo]
+            col = np.array(graph.colidx[graph.rowptr[lo] : graph.rowptr[hi]], copy=True)
+            self._rowptr_files.append(
+                fs.create_array_file(f"{name}.i{i}.rowptr", KLASS_ROW, local_rowptr, rec.rowptr_bytes)
+            )
+            self._col_files.append(
+                fs.create_array_file(f"{name}.i{i}.col", KLASS_COL, col, rec.vid_bytes)
+            )
+            if self.weighted:
+                val = np.array(graph.weights[graph.rowptr[lo] : graph.rowptr[hi]], copy=True)
+                self._val_files.append(
+                    fs.create_array_file(f"{name}.i{i}.val", KLASS_VAL, val, rec.weight_bytes)
+                )
+            self._delta_files.append(fs.create_page_file(f"{name}.i{i}.delta", KLASS_DELTA))
+            self._index.append(_IntervalIndex(base_alive=np.ones(col.size, dtype=bool)))
+        self._meta = fs.create_page_file(f"{name}.meta", KLASS_META)
+        self.ulog = UpdateLog(fs, intervals, config, name=f"{name}.ulog")
+        self.records_per_page = max(1, config.ssd.page_size // RECORD_BYTES)
+        # Commit-point state (mirrors the durable meta log).
+        self.last_ingested = 0
+        self.last_applied = 0
+        # Lifetime tallies behind the ``stream.*`` gauges; reset to the
+        # durable state's replay at recovery.
+        self.batches_ingested = 0
+        self.batches_applied = 0
+        self.records_ingested = 0
+        self.inserts_applied = 0
+        self.deletes_applied = 0
+        self.noop_deletes = 0
+        self.ulog_pages_written = 0
+        self.delta_pages_written = 0
+        self.compactions = 0
+        self.ingest_io_us = 0.0
+        self.apply_io_us = 0.0
+        self.compact_io_us = 0.0
+        self.register_metrics(metrics)
+
+    # -- observability ----------------------------------------------------
+
+    def register_metrics(self, reg: MetricsRegistry) -> None:
+        """Register the ``stream.*`` gauges over this store's tallies."""
+        self.metrics = reg
+        reg.gauge("stream.batches_ingested", lambda: self.batches_ingested)
+        reg.gauge("stream.batches_applied", lambda: self.batches_applied)
+        reg.gauge("stream.records_ingested", lambda: self.records_ingested)
+        reg.gauge("stream.inserts_applied", lambda: self.inserts_applied)
+        reg.gauge("stream.deletes_applied", lambda: self.deletes_applied)
+        reg.gauge("stream.noop_deletes", lambda: self.noop_deletes)
+        reg.gauge("stream.ulog_pages_written", lambda: self.ulog_pages_written)
+        reg.gauge("stream.delta_pages_written", lambda: self.delta_pages_written)
+        reg.gauge("stream.compactions", lambda: self.compactions)
+        reg.gauge("stream.live_edges", self.live_edges)
+        reg.gauge("stream.garbage_records", lambda: sum(ix.garbage_records for ix in self._index))
+        reg.gauge("stream.ingest_io_us", lambda: self.ingest_io_us)
+        reg.gauge("stream.apply_io_us", lambda: self.apply_io_us)
+        reg.gauge("stream.compact_io_us", lambda: self.compact_io_us)
+
+    def live_edges(self) -> int:
+        return sum(ix.live_base + ix.live_delta for ix in self._index)
+
+    def live_edge_arrays(self) -> tuple:
+        """``(src, dst)`` of every live edge (host-side, for generators)."""
+        src, dst = [], []
+        for i in range(self.intervals.n_intervals):
+            s, d, _ = self._live_local_edges(i)
+            src.append(s)
+            dst.append(d)
+        return (
+            np.concatenate(src) if src else np.empty(0, np.int64),
+            np.concatenate(dst) if dst else np.empty(0, np.int64),
+        )
+
+    # -- ingestion --------------------------------------------------------
+
+    def ingest(self, delta: EdgeDelta) -> Dict[str, float]:
+        """Buffer one update batch in the per-interval logs (durable).
+
+        The batch is committed -- guaranteed to survive a crash -- once
+        the meta log's ``ingest`` marker lands; a crash before that
+        leaves no trace of it after :meth:`recover`.
+        """
+        delta.validate(self.n)
+        seq = self.last_ingested + 1
+        s = self.ulog.append_batch(delta, seq)
+        _, t_meta = self._meta.append_page(("ingest", seq), useful_bytes=16)
+        io_us = s["io_us"] + t_meta
+        self.last_ingested = seq
+        self.batches_ingested += 1
+        self.records_ingested += delta.n
+        self.ulog_pages_written += int(s["pages"])
+        self.ingest_io_us += io_us
+        if self.tracer.enabled:
+            self.tracer.emit(
+                "ingest_stats",
+                phase="ingest",
+                seq=seq,
+                records=delta.n,
+                adds=delta.n_adds,
+                deletes=delta.n_deletes,
+                pages=int(s["pages"]),
+                io_us=io_us,
+            )
+        return {"seq": seq, "records": delta.n, "pages": int(s["pages"]), "io_us": io_us}
+
+    # -- merge ------------------------------------------------------------
+
+    def apply_updates(self) -> Dict[str, float]:
+        """Merge every committed-but-unapplied batch into the graph.
+
+        Deterministic: batches merge in sequence order, records in
+        arrival order.  Each batch's delta pages are sealed by an
+        ``applied`` meta marker before the next batch starts; the
+        consumed update-log pages are reclaimed at the end.  Compaction
+        runs last, once per interval over threshold.
+
+        After a :class:`~repro.errors.SimulatedCrashError` the host
+        index may be ahead of or behind flash -- call :meth:`recover`
+        before touching the store again.
+        """
+        pending, read_io, _ = self.ulog.read_pending(self.last_applied)
+        stats = {
+            "batches": 0, "inserts": 0, "deletes": 0, "noop_deletes": 0,
+            "pages": 0, "io_us": read_io, "compactions": 0,
+        }
+        self.apply_io_us += read_io
+        for seq, delta in pending:
+            b = self._apply_one(seq, delta)
+            stats["batches"] += 1
+            for k in ("inserts", "deletes", "noop_deletes", "pages", "io_us"):
+                stats[k] += b[k]
+        self.ulog.truncate_all()
+        stats["compactions"] = self.compact_if_needed()
+        return stats
+
+    def _apply_one(self, seq: int, delta: EdgeDelta) -> Dict[str, float]:
+        iv = self.intervals.interval_of(delta.src)
+        out = {"inserts": 0, "deletes": 0, "noop_deletes": 0, "pages": 0, "io_us": 0.0}
+        rpp = self.records_per_page
+        for i in np.unique(iv):
+            rows = np.flatnonzero(iv == i)  # preserves arrival order
+            part = delta.take(rows)
+            payloads, useful = [], []
+            for at in range(0, part.n, rpp):
+                sl = slice(at, min(at + rpp, part.n))
+                payloads.append((int(seq), part.op[sl], part.src[sl], part.dst[sl], part.w[sl], part.ts[sl]))
+                useful.append((sl.stop - sl.start) * RECORD_BYTES)
+            ids, t = self._delta_files[i].append_pages(payloads, useful)
+            out["pages"] += int(ids.size)
+            out["io_us"] += t
+            ins, dels, noops = self._apply_rows(i, part)
+            out["inserts"] += ins
+            out["deletes"] += dels
+            out["noop_deletes"] += noops
+        _, t_meta = self._meta.append_page(("applied", seq), useful_bytes=16)
+        out["io_us"] += t_meta
+        self.last_applied = seq
+        self.batches_applied += 1
+        self.inserts_applied += out["inserts"]
+        self.deletes_applied += out["deletes"]
+        self.noop_deletes += out["noop_deletes"]
+        self.delta_pages_written += out["pages"]
+        self.apply_io_us += out["io_us"]
+        if self.tracer.enabled:
+            self.tracer.emit(
+                "ingest_stats",
+                phase="apply",
+                seq=seq,
+                records=delta.n,
+                inserts=out["inserts"],
+                deletes=out["deletes"],
+                noop_deletes=out["noop_deletes"],
+                pages=out["pages"],
+                io_us=out["io_us"],
+            )
+        return out
+
+    def _apply_rows(self, i: int, part: EdgeDelta) -> tuple:
+        """Fold one interval's record run into the host index, in order.
+
+        Sequential semantics matter: a delete kills every instance of
+        its pair that is live *at that point in the batch*, including
+        edges inserted by earlier records of the same batch.
+        """
+        ix = self._index[i]
+        lo, _ = self.intervals.span(i)
+        rowptr = self._rowptr_files[i].array
+        col = self._col_files[i].array
+        inserts = deletes = noops = 0
+        for k in range(part.n):
+            s, d = int(part.src[k]), int(part.dst[k])
+            if part.op[k] == OP_DELETE:
+                ix.tombstones += 1
+                killed = 0
+                a, b = int(rowptr[s - lo]), int(rowptr[s - lo + 1])
+                hits = a + np.flatnonzero((col[a:b] == d) & ix.base_alive[a:b])
+                if hits.size:
+                    ix.base_alive[hits] = False
+                    ix.dead_base += int(hits.size)
+                    killed += int(hits.size)
+                for j in range(len(ix.d_src)):
+                    if ix.d_alive[j] and ix.d_src[j] == s and ix.d_dst[j] == d:
+                        ix.d_alive[j] = False
+                        ix.dead_delta += 1
+                        killed += 1
+                if killed:
+                    deletes += 1
+                else:
+                    noops += 1
+            else:
+                ix.d_src.append(s)
+                ix.d_dst.append(d)
+                ix.d_w.append(float(part.w[k]))
+                ix.d_alive.append(True)
+                inserts += 1
+        return inserts, deletes, noops
+
+    # -- compaction -------------------------------------------------------
+
+    def compact_if_needed(self) -> int:
+        """Compact every interval whose garbage fraction crossed the knob."""
+        done = 0
+        thresh = self.config.stream_compact_threshold
+        for i in range(self.intervals.n_intervals):
+            ix = self._index[i]
+            total = ix.total_records
+            if ix.garbage_records and total and ix.garbage_records / total > thresh:
+                self._compact(i)
+                done += 1
+        return done
+
+    def _live_local_edges(self, i: int) -> tuple:
+        """One interval's live edges: base order then delta arrival order."""
+        ix = self._index[i]
+        lo, hi = self.intervals.span(i)
+        rowptr = self._rowptr_files[i].array
+        col = self._col_files[i].array
+        base_src = lo + np.repeat(np.arange(hi - lo, dtype=np.int64), np.diff(rowptr))
+        alive = ix.base_alive
+        src = [base_src[alive]]
+        dst = [col[alive].astype(np.int64)]
+        w = [self._val_files[i].array[alive]] if self.weighted else None
+        if ix.d_src:
+            d_alive = np.asarray(ix.d_alive, dtype=bool)
+            src.append(np.asarray(ix.d_src, dtype=np.int64)[d_alive])
+            dst.append(np.asarray(ix.d_dst, dtype=np.int64)[d_alive])
+            if self.weighted:
+                w.append(np.asarray(ix.d_w, dtype=np.float64)[d_alive])
+        return (
+            np.concatenate(src),
+            np.concatenate(dst),
+            np.concatenate(w) if self.weighted else None,
+        )
+
+    def _compact(self, i: int) -> None:
+        """Rewrite interval ``i``'s survivors as a fresh base CSR.
+
+        All device charges (reads of the old base + delta log, writes of
+        the new base) complete before any host state changes, so a crash
+        mid-compaction is harmless: durable state is still the old,
+        fully consistent layout and recovery simply re-runs the merge.
+        """
+        ix = self._index[i]
+        lo, hi = self.intervals.span(i)
+        dropped = ix.garbage_records
+        io_us = self._rowptr_files[i].read_all()
+        io_us += self._col_files[i].read_all()
+        if self.weighted:
+            io_us += self._val_files[i].read_all()
+        _, t = self._delta_files[i].read_all()
+        io_us += t
+        pages_read = (
+            self._rowptr_files[i].n_pages
+            + self._col_files[i].n_pages
+            + (self._val_files[i].n_pages if self.weighted else 0)
+            + self._delta_files[i].n_pages
+        )
+        src, dst, w = self._live_local_edges(i)
+        order = np.lexsort((dst, src))
+        src, dst = src[order], dst[order]
+        new_rowptr = np.zeros(hi - lo + 1, dtype=np.int64)
+        np.add.at(new_rowptr, src - lo + 1, 1)
+        np.cumsum(new_rowptr, out=new_rowptr)
+        self._rowptr_files[i].set_array(new_rowptr)
+        self._col_files[i].set_array(dst.astype(np.int32))
+        if self.weighted:
+            self._val_files[i].set_array(w[order])
+        self._delta_files[i].truncate()
+        self._index[i] = _IntervalIndex(base_alive=np.ones(dst.size, dtype=bool))
+        io_us += self._rowptr_files[i].write_all()
+        io_us += self._col_files[i].write_all()
+        if self.weighted:
+            io_us += self._val_files[i].write_all()
+        pages_written = (
+            self._rowptr_files[i].n_pages
+            + self._col_files[i].n_pages
+            + (self._val_files[i].n_pages if self.weighted else 0)
+        )
+        self.compactions += 1
+        self.compact_io_us += io_us
+        if self.tracer.enabled:
+            self.tracer.emit(
+                "compaction",
+                interval=int(i),
+                live=int(dst.size),
+                dropped=int(dropped),
+                pages_read=int(pages_read),
+                pages_written=int(pages_written),
+                io_us=io_us,
+            )
+
+    # -- reads ------------------------------------------------------------
+
+    def materialize(self) -> CSRGraph:
+        """The current live graph as an in-memory CSR.
+
+        Edge ordering is canonical: per interval, base edges (already
+        (src, dst)-sorted) before delta inserts in arrival order, then a
+        stable global lexsort -- identical to
+        :meth:`CSRGraph.from_edges` over the same host-side edge list,
+        which is what the conformance layer checks bit-exactly.
+        """
+        src, dst, w = [], [], []
+        for i in range(self.intervals.n_intervals):
+            s, d, x = self._live_local_edges(i)
+            src.append(s)
+            dst.append(d)
+            if self.weighted:
+                w.append(x)
+        return CSRGraph.from_edges(
+            self.n,
+            np.concatenate(src) if src else np.empty(0, np.int64),
+            np.concatenate(dst) if dst else np.empty(0, np.int64),
+            np.concatenate(w) if self.weighted else None,
+        )
+
+    def charge_rows(self, vertices: np.ndarray) -> float:
+        """Charge reads for the adjacency rows of ``vertices``.
+
+        The incremental path's deletion-cone walk pays for the base CSR
+        pages of every row it expands (plus each touched interval's
+        delta pages, which hold the rows' overlay edges).
+        """
+        vertices = np.unique(np.asarray(vertices, dtype=np.int64))
+        if vertices.size == 0:
+            return 0.0
+        io_us = 0.0
+        iv = self.intervals.interval_of(vertices)
+        for i in np.unique(iv):
+            vs = vertices[iv == i]
+            lo, _ = self.intervals.span(i)
+            rowptr = self._rowptr_files[i].array
+            t, _, _ = self._col_files[i].read_ranges(rowptr[vs - lo], rowptr[vs - lo + 1])
+            io_us += t
+            if self.weighted:
+                t, _, _ = self._val_files[i].read_ranges(rowptr[vs - lo], rowptr[vs - lo + 1])
+                io_us += t
+            _, t = self._delta_files[i].read_all()
+            io_us += t
+        return io_us
+
+    def charge_seed_scan(self) -> float:
+        """Charge one sequential sweep of every interval's edges.
+
+        Models the in-edge discovery a warm start performs when the
+        batch deleted edges: finding all surviving edges that cross into
+        the reset cone requires scanning edge storage once (the store
+        keeps no reverse index).
+        """
+        io_us = 0.0
+        for i in range(self.intervals.n_intervals):
+            io_us += self._col_files[i].read_all()
+            if self.weighted:
+                io_us += self._val_files[i].read_all()
+            _, t = self._delta_files[i].read_all()
+            io_us += t
+        return io_us
+
+    # -- recovery ---------------------------------------------------------
+
+    def recover(self) -> Dict[str, int]:
+        """Rebuild a consistent state from flash after a simulated crash.
+
+        1. read the meta log; the last ``ingest``/``applied`` markers
+           define the durable sequence frontier;
+        2. trim uncommitted suffixes off the update log and the delta
+           logs (sequence numbers are monotone per file);
+        3. replay the surviving delta pages over the base CSRs to
+           rebuild the host index -- the same deterministic fold
+           :meth:`apply_updates` performed before the crash.
+
+        Batches that were ingested but not applied remain pending and
+        are merged by the next :meth:`apply_updates`.
+        """
+        payloads, _ = self._meta.read_all()
+        last_ingested = 0
+        last_applied = 0
+        for p in payloads:
+            if p[0] == "ingest":
+                last_ingested = max(last_ingested, int(p[1]))
+            elif p[0] == "applied":
+                last_applied = max(last_applied, int(p[1]))
+        if last_applied > last_ingested:
+            raise StorageError("stream meta log corrupt: applied ahead of ingested")
+        self.last_ingested = last_ingested
+        self.last_applied = last_applied
+        ulog_dropped = self.ulog.recover(last_ingested)
+        delta_dropped = 0
+        # Reset every lifetime tally, then replay durable state.
+        self.batches_ingested = last_ingested
+        self.batches_applied = last_applied
+        self.records_ingested = 0
+        self.inserts_applied = 0
+        self.deletes_applied = 0
+        self.noop_deletes = 0
+        self.ulog_pages_written = 0
+        self.delta_pages_written = 0
+        self.compactions = 0
+        self.ingest_io_us = 0.0
+        self.apply_io_us = 0.0
+        self.compact_io_us = 0.0
+        for i in range(self.intervals.n_intervals):
+            f = self._delta_files[i]
+            payloads, _ = f.read_all(charge=False)
+            keep = len(payloads)
+            while keep > 0 and payloads[keep - 1][0] > last_applied:
+                keep -= 1
+            delta_dropped += f.n_pages - keep
+            f.truncate_to(keep)
+            self.delta_pages_written += keep
+            self._index[i] = _IntervalIndex(
+                base_alive=np.ones(self._col_files[i].array.size, dtype=bool)
+            )
+            for seq, op, src, dst, w, ts in payloads[:keep]:
+                part = EdgeDelta(op, src, dst, w, ts)
+                ins, dels, noops = self._apply_rows(i, part)
+                self.inserts_applied += ins
+                self.deletes_applied += dels
+                self.noop_deletes += noops
+        pending, _, pages = self.ulog.read_pending(last_applied)
+        _ = pending
+        self.ulog_pages_written = pages
+        return {
+            "last_ingested": last_ingested,
+            "last_applied": last_applied,
+            "ulog_pages_dropped": ulog_dropped,
+            "delta_pages_dropped": delta_dropped,
+        }

@@ -16,6 +16,13 @@ from .compare import compare_results
 from .fuzzer import CaseOutcome, ConformanceCase, fuzz, generate_cases, run_case
 from .oracle import OracleEngine
 from .shrinker import load_case, replay_case, save_case, shrink
+from .streamcases import (
+    StreamCase,
+    StreamOutcome,
+    fuzz_stream,
+    generate_stream_cases,
+    run_stream_case,
+)
 
 __all__ = [
     "OracleEngine",
@@ -29,4 +36,9 @@ __all__ = [
     "save_case",
     "load_case",
     "replay_case",
+    "StreamCase",
+    "StreamOutcome",
+    "fuzz_stream",
+    "generate_stream_cases",
+    "run_stream_case",
 ]

@@ -47,7 +47,7 @@ from ..obs.tracer import Tracer
 from ..options import EngineOptions, resolve_options
 from ..ssd.stats import SSDStats
 from ..core.active import ActiveTracker
-from ..core.api import VertexContext, VertexProgram
+from ..core.api import InitialState, VertexContext, VertexProgram
 from ..core.combine import combine_sorted
 from ..core.results import ComputeMeter, RunResult, SuperstepRecord
 from ..core.update import DATA_DTYPE, DEST_DTYPE, SRC_DTYPE, UpdateBatch
@@ -130,7 +130,13 @@ class OracleEngine:
 
     # ------------------------------------------------------------------
 
-    def run(self, max_supersteps: int = 15, seed: int = 0) -> RunResult:
+    def run(
+        self,
+        max_supersteps: int = 15,
+        seed: int = 0,
+        *,
+        initial_state: Optional[InitialState] = None,
+    ) -> RunResult:
         graph = self.graph
         prog = self.program
         n = graph.n
@@ -161,7 +167,7 @@ class OracleEngine:
             wsrc = graph.with_unit_weights() if graph.weights is None else graph
             edge_vals = np.array(wsrc.weights, dtype=np.float64, copy=True)
 
-        init = prog.initial(graph, rng)
+        init = initial_state if initial_state is not None else prog.initial(graph, rng)
         values = np.array(init.values, dtype=np.float64, copy=True)
         if values.shape[0] != n:
             raise ProgramError("initial values must have one entry per vertex")

@@ -1,0 +1,390 @@
+"""Differential fuzzing for the streaming-update subsystem.
+
+Extends the conformance layer (DESIGN.md §9) along the update
+dimension: every case feeds a seeded sequence of edge-update batches
+through a :class:`~repro.stream.StreamSession` and, **after every
+batch**, checks two invariants against trusted host-side references:
+
+1. *storage*: the store's materialised CSR is array-exactly the graph a
+   plain host-side mirror of the update semantics produces (insert =
+   append, delete = drop every live ``(src, dst)`` instance);
+2. *compute*: the session's recompute -- incremental or full, whichever
+   the policy picks -- yields bit-exactly the final values of a
+   from-scratch :class:`~repro.verify.OracleEngine` run on that graph.
+
+Case generation mirrors :mod:`repro.verify.fuzzer`: case ``i`` of
+master seed ``s`` is derived from ``default_rng([s, i])`` and nothing
+else.  The schedule cycles programs (PageRank, SSSP, CDLP, BFS, WCC),
+so both warm-start-capable programs and full-recompute-only programs
+are exercised, and every third case cuts power mid-ingest or mid-merge
+and recovers before continuing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+import numpy as np
+
+from ..errors import SimulatedCrashError
+from ..graph.csr import CSRGraph
+from ..options import EngineOptions
+from ..ssd.faults import FaultPlan, FaultRule
+from .compare import compare_results
+from .fuzzer import (
+    _config_dict,
+    _graph_spec,
+    _spec_n_vertices,
+    build_config,
+    build_graph,
+    _PROGRAM_FACTORIES,
+)
+from .oracle import OracleEngine
+
+#: Program schedule: the paper-core trio the issue names plus the two
+#: remaining monotone programs, so the incremental path (BFS/SSSP/WCC)
+#: and the full-recompute fallback (PageRank/CDLP) both get air time.
+STREAM_PROGRAMS = ("pagerank", "sssp", "cdlp", "bfs", "wcc")
+
+#: Programs whose ``warm_start`` can take the incremental path.
+WARM_PROGRAMS = frozenset({"bfs", "sssp", "wcc"})
+
+#: Crash-scenario phases: power cut while appending update-log pages
+#: (ingest) or while appending delta pages (merge).
+CRASH_PHASES = ("ingest", "apply")
+
+
+@dataclass
+class StreamCase:
+    """One streaming differential check, JSON-serialisable."""
+
+    case_id: str
+    program: str
+    prog_params: Dict[str, Any]
+    graph: Dict[str, Any]
+    config: Dict[str, Any]
+    batches: List[List[Dict[str, Any]]]
+    recompute: str = "auto"
+    scenario: str = "plain"
+    scenario_params: Dict[str, Any] = field(default_factory=dict)
+    max_supersteps: int = 200
+    seed: int = 0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {k: getattr(self, k) for k in self.__dataclass_fields__}
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, Any]) -> "StreamCase":
+        return cls(**{k: d[k] for k in cls.__dataclass_fields__ if k in d})
+
+    def describe(self) -> str:
+        bits = [
+            self.case_id, "stream", self.program,
+            f"graph={self.graph.get('kind')}",
+            f"batches={len(self.batches)}",
+            f"recompute={self.recompute}",
+        ]
+        if self.scenario != "plain":
+            p = self.scenario_params
+            bits.append(f"crash@{p.get('phase')}[b{p.get('batch')},op{p.get('after_ops')}]")
+        return " ".join(bits)
+
+
+@dataclass
+class StreamOutcome:
+    """What happened when a stream case ran."""
+
+    case: StreamCase
+    mismatches: List[str] = field(default_factory=list)
+    error: Optional[str] = None
+    note: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return not self.mismatches and self.error is None
+
+    def describe(self) -> str:
+        status = "ok" if self.ok else "FAIL"
+        tail = ""
+        if self.error:
+            tail = f" error: {self.error}"
+        elif self.mismatches:
+            tail = f" {self.mismatches[0]}"
+        if self.note:
+            tail += f" [{self.note}]"
+        return f"{status} {self.case.describe()}{tail}"
+
+
+# -- host-side mirror ---------------------------------------------------------
+
+
+class _HostMirror:
+    """Plain-Python reference of the update semantics."""
+
+    def __init__(self, graph: CSRGraph) -> None:
+        src, dst = graph.edge_array()
+        self.n = graph.n
+        self.weighted = graph.weights is not None
+        self.src = [int(x) for x in src]
+        self.dst = [int(x) for x in dst]
+        self.w = [float(x) for x in graph.weights] if self.weighted else None
+
+    def apply(self, records: List[Dict[str, Any]]) -> None:
+        for rec in records:
+            s, d = int(rec["src"]), int(rec["dst"])
+            if rec["op"] == "add":
+                self.src.append(s)
+                self.dst.append(d)
+                if self.weighted:
+                    self.w.append(float(rec.get("w", 1.0)))
+            else:
+                keep = [
+                    i for i in range(len(self.src))
+                    if not (self.src[i] == s and self.dst[i] == d)
+                ]
+                self.src = [self.src[i] for i in keep]
+                self.dst = [self.dst[i] for i in keep]
+                if self.weighted:
+                    self.w = [self.w[i] for i in keep]
+
+    def graph(self) -> CSRGraph:
+        return CSRGraph.from_edges(
+            self.n,
+            np.asarray(self.src, np.int64),
+            np.asarray(self.dst, np.int64),
+            weights=None if not self.weighted else np.asarray(self.w, np.float64),
+        )
+
+
+def _graphs_equal(a: CSRGraph, b: CSRGraph) -> bool:
+    if not (np.array_equal(a.rowptr, b.rowptr) and np.array_equal(a.colidx, b.colidx)):
+        return False
+    if (a.weights is None) != (b.weights is None):
+        return False
+    return a.weights is None or np.array_equal(a.weights, b.weights)
+
+
+# -- execution ---------------------------------------------------------------
+
+
+def run_stream_case(case: StreamCase) -> StreamOutcome:
+    """Run one streaming differential check; engine misbehaviour is
+    captured in the outcome, never raised."""
+    from ..stream import EdgeDelta, StreamSession
+
+    outcome = StreamOutcome(case=case)
+    try:
+        graph = build_graph(case.graph)
+        cfg = build_config(case.config)
+        if "stream_compact_threshold" in case.config:
+            cfg = cfg.with_stream(
+                compact_threshold=float(case.config["stream_compact_threshold"])
+            )
+        program = _PROGRAM_FACTORIES[case.program](case.prog_params)
+        session = StreamSession(
+            graph, program, config=cfg,
+            options=EngineOptions(recompute=case.recompute),
+        )
+        mirror = _HostMirror(graph)
+        notes = []
+
+        # Baseline: the session's first recompute on the unmodified
+        # graph is itself a differential check (engine vs oracle).
+        r = session.recompute(max_supersteps=case.max_supersteps, seed=case.seed)
+        oracle = OracleEngine(build_graph(case.graph), _fresh_program(case), cfg).run(
+            max_supersteps=case.max_supersteps, seed=case.seed
+        )
+        outcome.mismatches = compare_results(
+            oracle, r.result, check_supersteps=False, check_records=False
+        )
+        if outcome.mismatches:
+            outcome.mismatches = [f"baseline: {m}" for m in outcome.mismatches]
+            return outcome
+
+        crash = case.scenario == "crash"
+        crash_batch = int(case.scenario_params.get("batch", 0)) if crash else -1
+        for b, records in enumerate(case.batches):
+            delta = EdgeDelta.from_records(records)
+            expected_seq = session.store.last_ingested + 1
+            if crash and b == crash_batch:
+                note = _run_crashed_batch(session, delta, expected_seq, case)
+                notes.append(note)
+            else:
+                session.ingest(delta)
+                session.apply_updates()
+            mirror.apply(records)
+
+            mat = session.store.materialize()
+            ref = mirror.graph()
+            if not _graphs_equal(mat, ref):
+                outcome.mismatches.append(
+                    f"batch {b}: materialised graph differs from host mirror "
+                    f"(m={mat.m} vs {ref.m})"
+                )
+                return outcome
+
+            r = session.recompute(max_supersteps=case.max_supersteps, seed=case.seed)
+            notes.append(r.mode[0])  # i / f per batch
+            oracle = OracleEngine(ref, _fresh_program(case), cfg).run(
+                max_supersteps=case.max_supersteps, seed=case.seed
+            )
+            outcome.mismatches = compare_results(
+                oracle, r.result, check_supersteps=False, check_records=False
+            )
+            if outcome.mismatches:
+                outcome.mismatches = [
+                    f"batch {b} ({r.mode}): {m}" for m in outcome.mismatches
+                ]
+                return outcome
+        outcome.note = "".join(notes)
+    except Exception as exc:
+        outcome.error = f"{type(exc).__name__}: {exc}"
+    return outcome
+
+
+def _fresh_program(case: StreamCase):
+    return _PROGRAM_FACTORIES[case.program](case.prog_params)
+
+
+def _run_crashed_batch(session, delta, expected_seq: int, case: StreamCase) -> str:
+    """Cut power during this batch's ingest or merge, then recover.
+
+    Returns a one-letter note: ``C`` when the planned crash fired, ``c``
+    when the operation finished before the fault armed (small batches
+    may not reach the trigger count -- still a valid run).
+    """
+    phase = case.scenario_params.get("phase", "ingest")
+    after_ops = int(case.scenario_params.get("after_ops", 0))
+    klass = "ulog" if phase == "ingest" else "stream_delta"
+    plan = FaultPlan(
+        [FaultRule(op="write", kind="crash", klass=klass, after_ops=after_ops)],
+        seed=case.seed,
+    )
+    fired = False
+    session.fs.device.fault_plan = plan
+    try:
+        # The klass filter picks which phase the cut lands in.
+        session.ingest(delta)
+        session.apply_updates()
+    except SimulatedCrashError:
+        fired = True
+    finally:
+        session.fs.device.fault_plan = None
+    if fired:
+        session.recover()
+        # Re-submit only if the batch did not reach its durable commit
+        # point before the cut (exactly what a client with a pending
+        # acknowledgement would do).
+        if session.store.last_ingested < expected_seq:
+            session.ingest(delta)
+        session.apply_updates()
+        return "C"
+    return "c"
+
+
+# -- generation --------------------------------------------------------------
+
+
+def _symmetrize_records(records: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    """Mirror every op so the graph stays symmetric (CDLP's contract)."""
+    out: List[Dict[str, Any]] = []
+    for rec in records:
+        out.append(rec)
+        if rec["src"] != rec["dst"]:
+            out.append({**rec, "src": rec["dst"], "dst": rec["src"]})
+    return out
+
+
+def generate_stream_case(master_seed: int, index: int) -> StreamCase:
+    """Deterministically derive stream case ``index`` of ``master_seed``."""
+    from ..stream import random_delta
+
+    rng = np.random.default_rng([master_seed, index])
+    program = STREAM_PROGRAMS[index % len(STREAM_PROGRAMS)]
+    graph = _graph_spec(rng, "multilogvc", program)
+    n_total = _spec_n_vertices(graph)
+
+    prog_params: Dict[str, Any] = {}
+    if program in ("bfs", "sssp"):
+        prog_params["source"] = int(rng.integers(0, n_total))
+    if program == "pagerank":
+        prog_params["threshold"] = float(rng.choice([0.01, 0.001]))
+
+    # Updates are generated against the (deterministic) base graph:
+    # deletions mostly target base edges, insertions are uniform pairs.
+    base = build_graph(graph)
+    src0, dst0 = base.edge_array()
+    weighted = graph.get("weighted", False)
+    batches: List[List[Dict[str, Any]]] = []
+    for b in range(int(rng.integers(2, 4))):
+        n_ops = int(rng.integers(2, 11))
+        delta = random_delta(
+            rng, n_total, src0, dst0, n_ops,
+            p_delete=float(rng.choice([0.2, 0.4, 0.6])),
+            weighted=weighted,
+            ts0=100 * b,
+        )
+        records = delta.to_records()
+        if program == "cdlp":
+            records = _symmetrize_records(records)
+        batches.append(records)
+
+    scenario = "plain"
+    scenario_params: Dict[str, Any] = {}
+    if index % 3 == 2:
+        scenario = "crash"
+        scenario_params = {
+            "phase": CRASH_PHASES[(index // 3) % len(CRASH_PHASES)],
+            "batch": int(rng.integers(0, len(batches))),
+            "after_ops": int(rng.integers(0, 3)),
+        }
+
+    recompute = "auto"
+    if index % 7 == 5:
+        recompute = "full"
+    elif index % 7 == 6 and program in WARM_PROGRAMS:
+        recompute = "incremental"
+
+    config = _config_dict(rng)
+    if rng.integers(0, 2):
+        # Half the cases compact aggressively, so the rewrite path runs
+        # under the differential check too.
+        config["stream_compact_threshold"] = float(rng.choice([0.05, 0.2]))
+
+    # Monotone warm starts need actual convergence (the fixed point is
+    # the invariant); trajectory-compared programs need matched budgets.
+    max_supersteps = 200 if program in WARM_PROGRAMS else 15
+
+    return StreamCase(
+        case_id=f"st{master_seed}-{index:03d}",
+        program=program,
+        prog_params=prog_params,
+        graph=graph,
+        config=config,
+        batches=batches,
+        recompute=recompute,
+        scenario=scenario,
+        scenario_params=scenario_params,
+        max_supersteps=max_supersteps,
+        seed=int(rng.integers(0, 100)),
+    )
+
+
+def generate_stream_cases(seed: int, n_cases: int) -> List[StreamCase]:
+    return [generate_stream_case(seed, i) for i in range(n_cases)]
+
+
+def fuzz_stream(
+    seed: int,
+    n_cases: int,
+    progress: Optional[Callable[[StreamOutcome], None]] = None,
+) -> List[StreamOutcome]:
+    """Generate and run ``n_cases`` streaming differential checks."""
+    outcomes = []
+    for case in generate_stream_cases(seed, n_cases):
+        outcome = run_stream_case(case)
+        if progress is not None:
+            progress(outcome)
+        outcomes.append(outcome)
+    return outcomes

@@ -1,0 +1,127 @@
+"""CLI surface for streaming updates: exit codes, help, happy paths.
+
+Exit-code contract (README): 0 success, 1 internal failure, 2 usage
+error, 3 simulated crash surfaced to the caller.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+def write_updates(tmp_path, rows):
+    p = tmp_path / "updates.jsonl"
+    p.write_text("\n".join(json.dumps(r) for r in rows) + "\n")
+    return str(p)
+
+
+UPDATES = [
+    {"op": "add", "src": 0, "dst": 5},
+    {"op": "add", "src": 5, "dst": 2},
+    {"op": "delete", "src": 0, "dst": 1},
+]
+
+
+class TestComputeExitCodes:
+    def test_unknown_engine(self, capsys):
+        assert main(["compute", "pagerank", "--engine", "nosuch"]) == 2
+        assert "unknown engine" in capsys.readouterr().err
+
+    def test_resume_plus_fault_conflict(self, capsys, tmp_path):
+        rc = main(
+            [
+                "compute", "pagerank",
+                "--resume-from", str(tmp_path / "x.ckpt"),
+                "--fault", "crash@40",
+            ]
+        )
+        assert rc == 2
+        assert "conflict" in capsys.readouterr().err
+
+    def test_updates_missing_file(self, capsys):
+        rc = main(["compute", "wcc", "--updates", "/nonexistent/u.jsonl"])
+        assert rc == 2
+        assert "not found" in capsys.readouterr().err
+
+    def test_updates_plus_resume_conflict(self, capsys, tmp_path):
+        path = write_updates(tmp_path, UPDATES)
+        rc = main(
+            ["compute", "wcc", "--updates", path,
+             "--resume-from", str(tmp_path / "x.ckpt")]
+        )
+        assert rc == 2
+
+    def test_updates_malformed_records(self, capsys, tmp_path):
+        path = write_updates(tmp_path, [{"op": "frobnicate", "src": 0, "dst": 1}])
+        rc = main(["compute", "wcc", "--updates", path])
+        assert rc == 2
+        assert "bad --updates file" in capsys.readouterr().err
+
+    def test_bad_dataset_rejected_by_parser(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["compute", "pagerank", "--dataset", "nosuch"])
+        assert exc.value.code == 2
+        assert "invalid choice" in capsys.readouterr().err
+
+    def test_help_lists_dataset_names(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["compute", "--help"])
+        assert exc.value.code == 0
+        out = capsys.readouterr().out
+        for name in ("rmat256", "chain", "two_components"):
+            assert name in out
+
+
+class TestComputeUpdates:
+    def test_happy_path(self, capsys, tmp_path):
+        path = write_updates(tmp_path, UPDATES)
+        rc = main(
+            ["compute", "wcc", "--dataset", "chain", "--updates", path]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "3 records (2 adds, 1 deletes)" in out
+        assert "recompute=" in out
+
+    def test_crash_fault_exits_3(self, capsys, tmp_path):
+        path = write_updates(tmp_path, UPDATES)
+        rc = main(
+            ["compute", "wcc", "--dataset", "chain", "--updates", path,
+             "--fault", "crash@1"]
+        )
+        assert rc == 3
+
+
+class TestIngestExitCodes:
+    def test_unknown_engine(self, capsys):
+        rc = main(["ingest", "wcc", "--engine", "nosuch", "--random", "4"])
+        assert rc == 2
+
+    def test_requires_exactly_one_source(self, capsys, tmp_path):
+        assert main(["ingest", "wcc"]) == 2
+        path = write_updates(tmp_path, UPDATES)
+        assert main(["ingest", "wcc", "--updates", path, "--random", "4"]) == 2
+
+    def test_missing_updates_file(self, capsys):
+        assert main(["ingest", "wcc", "--updates", "/nonexistent/u.jsonl"]) == 2
+
+    def test_happy_path_with_json_export(self, capsys, tmp_path):
+        out_json = tmp_path / "ingest.json"
+        rc = main(
+            ["ingest", "wcc", "--dataset", "chain", "--random", "6",
+             "--batches", "2", "--json", str(out_json)]
+        )
+        assert rc == 0
+        report = json.loads(out_json.read_text())
+        assert report["batches"] and len(report["batches"]) == 2
+        text = capsys.readouterr().out
+        assert "batch 0" in text and "batch 1" in text
+
+
+class TestVerifyStream:
+    def test_stream_cases_pass(self, capsys):
+        rc = main(["verify", "--stream", "3", "--seed", "0", "-q"])
+        assert rc == 0
+        assert "3 stream cases, 0 failures" in capsys.readouterr().out

@@ -250,6 +250,7 @@ NON_DEFAULT_SAMPLES = {
     "cache_policy": "clock",
     "cache_bytes": 64 * 1024,
     "num_workers": 2,
+    "recompute": "full",
 }
 
 

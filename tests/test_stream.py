@@ -1,0 +1,313 @@
+"""Streaming updates: multi-log ingest, merge, compaction, incremental
+recompute (DESIGN.md §12).
+
+The acceptance bar everywhere is exactness: after any sequence of
+ingests, merges, compactions, crashes and recoveries, the materialized
+graph equals the graph built from scratch over the surviving updates,
+and every recompute -- incremental or full -- lands on bit-identical
+final values.
+"""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import BFSProgram, SSSPProgram, WCCProgram
+from repro.config import DEFAULT_CONFIG
+from repro.errors import EngineError, GraphFormatError, SimulatedCrashError
+from repro.graph.csr import CSRGraph
+from repro.graph.datasets import small_chain, small_rmat
+from repro.ssd import FaultPlan
+from repro.ssd.filesystem import SimFS
+from repro.stream import EdgeDelta, StreamSession, StreamStore, random_delta
+from repro.stream.delta import OP_ADD, OP_DELETE
+from repro.stream.incremental import descendants
+from repro.stream.session import _edge_multiset_diff
+from repro.verify import OracleEngine
+
+
+def adds(pairs, w=None):
+    src = [s for s, _ in pairs]
+    dst = [d for _, d in pairs]
+    return EdgeDelta.of([OP_ADD] * len(pairs), src, dst, w=w)
+
+
+def dels(pairs):
+    src = [s for s, _ in pairs]
+    dst = [d for _, d in pairs]
+    return EdgeDelta.of([OP_DELETE] * len(pairs), src, dst)
+
+
+class TestEdgeDelta:
+    def test_records_roundtrip(self):
+        d = EdgeDelta.of([OP_ADD, OP_DELETE], [1, 2], [3, 4], w=[0.5, 0.0])
+        back = EdgeDelta.from_records(d.to_records())
+        assert np.array_equal(back.op, d.op)
+        assert np.array_equal(back.src, d.src)
+        assert np.array_equal(back.dst, d.dst)
+        assert np.array_equal(back.w, d.w)
+
+    def test_bad_records_rejected(self):
+        with pytest.raises(GraphFormatError):
+            EdgeDelta.from_records([{"op": "nope", "src": 0, "dst": 1}])
+        with pytest.raises(GraphFormatError):
+            EdgeDelta.from_records([{"op": "add", "src": 0}])
+
+    def test_validate_bounds(self):
+        d = adds([(0, 99)])
+        with pytest.raises(GraphFormatError):
+            d.validate(10)
+
+    def test_random_delta_deterministic(self):
+        g = small_rmat(n=128, m=512, seed=1)
+        s, t = g.edge_array()
+        a = random_delta(np.random.default_rng(7), g.n, s, t, 20)
+        b = random_delta(np.random.default_rng(7), g.n, s, t, 20)
+        assert np.array_equal(a.src, b.src) and np.array_equal(a.op, b.op)
+
+
+def store_on(graph, config=DEFAULT_CONFIG):
+    fs = SimFS(config)
+    return StreamStore(graph, fs, config), fs
+
+
+class TestStreamStore:
+    def test_ingest_then_apply_materializes_inserts(self):
+        g = small_chain(8)
+        store, _ = store_on(g)
+        out = store.ingest(adds([(0, 5), (5, 2)]))
+        assert out["seq"] == 1 and out["records"] == 2
+        store.apply_updates()
+        mat = store.materialize()
+        assert mat.m == g.m + 2
+        s, d = mat.edge_array()
+        assert ((s == 0) & (d == 5)).any() and ((s == 5) & (d == 2)).any()
+
+    def test_delete_kills_all_duplicates(self):
+        g = small_chain(8)
+        store, _ = store_on(g)
+        # insert a duplicate of an existing base edge, then delete it:
+        # base copy and delta copy must both die
+        store.ingest(adds([(0, 1)]))
+        store.apply_updates()
+        store.ingest(dels([(0, 1)]))
+        store.apply_updates()
+        s, d = store.materialize().edge_array()
+        assert not ((s == 0) & (d == 1)).any()
+
+    def test_noop_delete_counted_not_applied(self):
+        g = small_chain(8)
+        store, _ = store_on(g)
+        store.ingest(dels([(0, 7)]))  # no such edge
+        out = store.apply_updates()
+        assert out["noop_deletes"] == 1
+        assert store.materialize().m == g.m
+
+    def test_compaction_preserves_graph_and_drops_garbage(self):
+        g = small_chain(16)
+        cfg = DEFAULT_CONFIG.with_stream(compact_threshold=0.05)
+        store, _ = store_on(g, cfg)
+        victims = [(i, i + 1) for i in range(0, 12, 2)]
+        store.ingest(dels(victims))
+        out = store.apply_updates()
+        assert out["compactions"] > 0
+        mat = store.materialize()
+        assert mat.m == g.m - len(victims)
+        # garbage is gone after compaction
+        assert sum(ix.garbage_records for ix in store._index) == 0
+
+    def test_high_threshold_defers_compaction(self):
+        g = small_chain(16)
+        store, _ = store_on(g)  # default threshold 0.5
+        store.ingest(dels([(0, 1)]))
+        out = store.apply_updates()
+        assert out["compactions"] == 0
+
+    def test_materialize_invariant_under_compaction(self):
+        # same update sequence, aggressive vs deferred compaction:
+        # the materialized graphs carry identical edge multisets
+        g = small_rmat(n=128, m=512, seed=3)
+
+        def play(store):
+            for b in range(3):
+                s, t = store.live_edge_arrays()
+                store.ingest(
+                    random_delta(np.random.default_rng([11, b]), g.n, s, t, 15)
+                )
+                store.apply_updates()
+            return store.materialize()
+
+        m1 = play(store_on(g)[0])
+        m2 = play(store_on(g, DEFAULT_CONFIG.with_stream(compact_threshold=0.05))[0])
+        assert m1.m == m2.m
+        e1 = sorted(zip(*(a.tolist() for a in m1.edge_array())))
+        e2 = sorted(zip(*(a.tolist() for a in m2.edge_array())))
+        assert e1 == e2
+
+    def test_charges_are_positive(self):
+        g = small_chain(8)
+        store, fs = store_on(g)
+        t0 = fs.stats.total_time_us
+        assert store.charge_rows(np.array([0, 1, 2])) > 0
+        assert store.charge_seed_scan() > 0
+        assert fs.stats.total_time_us > t0
+
+
+class TestCrashRecovery:
+    def test_crash_mid_ingest_loses_uncommitted_batch(self):
+        g = small_chain(8)
+        cfg = DEFAULT_CONFIG
+        fs = SimFS(cfg)
+        store = StreamStore(g, fs, cfg)
+        store.ingest(adds([(0, 5)]))
+        store.apply_updates()
+        fs.device.fault_plan = FaultPlan.crash_after(0, klass="ulog")
+        with pytest.raises(SimulatedCrashError):
+            store.ingest(adds([(1, 6), (2, 7)]))
+        fs.device.fault_plan = None
+        store.recover()
+        assert store.last_ingested == 1 and store.last_applied == 1
+        # the lost batch can be re-ingested and applied cleanly
+        store.ingest(adds([(1, 6), (2, 7)]))
+        store.apply_updates()
+        assert store.materialize().m == g.m + 3
+
+    def test_crash_mid_apply_keeps_batch_pending(self):
+        g = small_chain(8)
+        cfg = DEFAULT_CONFIG
+        fs = SimFS(cfg)
+        store = StreamStore(g, fs, cfg)
+        store.ingest(adds([(0, 5), (5, 2), (3, 7)]))
+        fs.device.fault_plan = FaultPlan.crash_after(0, klass="stream_delta")
+        with pytest.raises(SimulatedCrashError):
+            store.apply_updates()
+        fs.device.fault_plan = None
+        store.recover()
+        # durably ingested, not applied: still pending
+        assert store.last_ingested == 1 and store.last_applied == 0
+        store.apply_updates()
+        assert store.materialize().m == g.m + 3
+
+    def test_recover_is_idempotent_when_clean(self):
+        g = small_chain(8)
+        store, _ = store_on(g)
+        store.ingest(adds([(0, 5)]))
+        store.apply_updates()
+        before = store.materialize()
+        store.recover()
+        after = store.materialize()
+        assert np.array_equal(before.edge_array()[0], after.edge_array()[0])
+        assert np.array_equal(before.edge_array()[1], after.edge_array()[1])
+
+
+class TestDiffAndCone:
+    def test_diff_insert_delete(self):
+        a = CSRGraph.from_edges(4, [0, 1], [1, 2])
+        b = CSRGraph.from_edges(4, [0, 2], [1, 3])
+        ds, dd, is_, id_, iw = _edge_multiset_diff(a, b)
+        assert list(zip(ds, dd)) == [(1, 2)]
+        assert list(zip(is_, id_)) == [(2, 3)]
+        assert iw is None
+
+    def test_diff_multiplicity(self):
+        a = CSRGraph.from_edges(3, [0], [1])
+        b = CSRGraph.from_edges(3, [0, 0], [1, 1])
+        ds, dd, is_, id_, _ = _edge_multiset_diff(a, b)
+        assert ds.size == 0 and list(zip(is_, id_)) == [(0, 1)]
+
+    def test_diff_identical_graphs_empty(self):
+        g = small_rmat(n=64, m=256, seed=5)
+        ds, dd, is_, id_, _ = _edge_multiset_diff(g, g)
+        assert ds.size == 0 and is_.size == 0
+
+    def test_descendants_chain(self):
+        g = CSRGraph.from_edges(5, [0, 1, 2], [1, 2, 3])
+        cone = descendants(g, np.array([1]))
+        assert sorted(cone.tolist()) == [1, 2, 3]
+
+    def test_descendants_empty_roots(self):
+        g = small_chain(8)
+        assert descendants(g, np.array([], dtype=np.int64)).size == 0
+
+
+PROGRAMS = {
+    "wcc": lambda: WCCProgram(),
+    "bfs": lambda: BFSProgram(source=0),
+    "sssp": lambda: SSSPProgram(source=0),
+}
+
+
+class TestStreamSession:
+    @pytest.mark.parametrize("name", sorted(PROGRAMS))
+    def test_incremental_matches_oracle(self, name):
+        g = small_rmat(n=128, m=512, seed=9, weighted=(name == "sssp"))
+        sess = StreamSession(g, PROGRAMS[name]())
+        sess.recompute(max_supersteps=200)
+        for b in range(2):
+            s, t = sess.store.live_edge_arrays()
+            delta = random_delta(
+                np.random.default_rng([9, b]), g.n, s, t, 10,
+                weighted=(name == "sssp"),
+            )
+            sess.ingest(delta)
+            sess.apply_updates()
+            r = sess.recompute(max_supersteps=200, mode="incremental")
+            assert r.mode == "incremental"
+            oracle = OracleEngine(
+                sess.store.materialize(), PROGRAMS[name]()
+            ).run(200, seed=0)
+            assert np.array_equal(
+                np.nan_to_num(r.result.values, posinf=-1),
+                np.nan_to_num(oracle.values, posinf=-1),
+            )
+
+    def test_auto_falls_back_to_full_on_large_delta(self):
+        g = small_chain(8)
+        cfg = DEFAULT_CONFIG.with_stream(max_delta_fraction=0.0)
+        sess = StreamSession(g, WCCProgram(), config=cfg)
+        sess.recompute(max_supersteps=50)
+        sess.ingest(adds([(0, 5)]))
+        sess.apply_updates()
+        r = sess.recompute(max_supersteps=50)
+        assert r.requested == "auto" and r.mode == "full"
+
+    def test_incremental_on_incapable_engine_raises(self):
+        g = small_chain(8)
+        sess = StreamSession(g, WCCProgram(), engine="xstream")
+        sess.recompute(max_supersteps=50)
+        with pytest.raises(EngineError):
+            sess.recompute(max_supersteps=50, mode="incremental")
+
+    def test_invalid_mode_raises(self):
+        sess = StreamSession(small_chain(8), WCCProgram())
+        with pytest.raises(EngineError):
+            sess.recompute(mode="sometimes")
+
+    def test_recover_discards_warm_state(self):
+        g = small_chain(8)
+        sess = StreamSession(g, WCCProgram())
+        sess.recompute(max_supersteps=50)
+        sess.ingest(adds([(0, 5)]))
+        sess.apply_updates()
+        sess.recover()
+        r = sess.recompute(max_supersteps=50, mode="auto")
+        assert r.mode == "full"
+
+    def test_unconverged_values_not_reused(self):
+        g = small_rmat(n=128, m=512, seed=2)
+        sess = StreamSession(g, WCCProgram())
+        r0 = sess.recompute(max_supersteps=1)
+        assert not r0.result.converged
+        sess.ingest(adds([(0, 5)]))
+        sess.apply_updates()
+        r1 = sess.recompute(max_supersteps=200)
+        assert r1.mode == "full"
+
+    def test_insert_only_warm_start_charges_no_seed_scan(self):
+        g = small_rmat(n=128, m=512, seed=4)
+        sess = StreamSession(g, WCCProgram())
+        sess.recompute(max_supersteps=200)
+        sess.ingest(adds([(0, 5), (5, 9)]))
+        sess.apply_updates()
+        r = sess.recompute(max_supersteps=200, mode="incremental")
+        assert r.mode == "incremental"
+        assert r.seed_io_us == 0.0

@@ -50,10 +50,13 @@ from repro.obs import MetricsRegistry  # noqa: E402
 from repro.options import EngineOptions  # noqa: E402
 from repro.graph.datasets import cf_like  # noqa: E402
 from repro.algorithms import (  # noqa: E402
+    BFSProgram,
     CommunityDetectionProgram,
     DeltaPageRankProgram,
     SSSPProgram,
+    WCCProgram,
 )
+from repro.stream import StreamSession, random_delta  # noqa: E402
 
 
 def scalar_variant(prog):
@@ -214,6 +217,81 @@ def measure_parallel(scale: str, steps_scale: float, workers: int):
     return out
 
 
+def measure_stream(scale: str, delta_fraction: float = 0.005):
+    """Simulated-I/O comparison: incremental vs full recompute (DESIGN.md §12).
+
+    For each warm-start-capable workload: converge once, apply a small
+    insertion batch (``delta_fraction`` of the edges), then bring the
+    values up to date both ways on the same updated graph.  The
+    incremental cost counts its warm-start seeding I/O.  Insert-only
+    deltas are the representative streaming workload *and* the
+    incremental sweet spot: a deletion's repair cone (every vertex whose
+    monotone value might have flowed through the dead edge) can span
+    most of a well-connected component, collapsing the win to the
+    supersteps saved -- the mixed-delta case is covered functionally by
+    the conformance fuzzer, not benchmarked here.  All numbers are
+    deterministic simulation output, so they are machine-independent.
+    Returns None if either path's final values differ -- they are
+    defined to be bit-identical.
+    """
+    cfg = DEFAULT_CONFIG
+    graph = cf_like(scale=scale)
+    graph_w = cf_like(scale=scale, weighted=True)
+    workloads = [
+        ("wcc", graph, lambda: WCCProgram()),
+        ("sssp", graph_w, lambda: SSSPProgram(source=0)),
+        ("bfs", graph, lambda: BFSProgram(source=0)),
+    ]
+    out = {}
+    for i, (name, g, factory) in enumerate(workloads):
+        n_ops = max(4, int(g.m * delta_fraction))
+        rng = np.random.default_rng([20260809, i])
+        src, dst = g.edge_array()
+        delta = random_delta(
+            rng, g.n, src, dst, n_ops, p_delete=0.0, weighted=g.weights is not None
+        )
+        inc = StreamSession(g, factory(), config=cfg)
+        inc.recompute(max_supersteps=200)
+        inc.ingest(delta)
+        inc.apply_updates()
+        r_inc = inc.recompute(max_supersteps=200, mode="incremental")
+        full = StreamSession(g, factory(), config=cfg)
+        full.ingest(delta)
+        full.apply_updates()
+        r_full = full.recompute(max_supersteps=200, mode="full")
+        same = np.array_equal(
+            np.nan_to_num(r_inc.result.values, posinf=-1),
+            np.nan_to_num(r_full.result.values, posinf=-1),
+        )
+        if not same or r_inc.mode != "incremental":
+            print(f"ERROR: {name}: incremental recompute diverged from full", file=sys.stderr)
+            return None
+        inc_io = r_inc.seed_io_us + r_inc.result.stats.total_time_us
+        full_io = r_full.result.stats.total_time_us
+        reduction = (full_io - inc_io) / full_io if full_io > 0 else 0.0
+        row = {
+            "graph_vertices": int(g.n),
+            "graph_edges": int(g.m),
+            "delta_records": int(delta.n),
+            "delta_fraction": round(delta.n / max(1, g.m), 4),
+            "seed_io_us": round(r_inc.seed_io_us, 1),
+            "incremental_io_us": round(inc_io, 1),
+            "full_io_us": round(full_io, 1),
+            "io_reduction": round(reduction, 4),
+            "incremental_supersteps": int(r_inc.result.n_supersteps),
+            "full_supersteps": int(r_full.result.n_supersteps),
+            "values_identical": True,
+        }
+        out[name] = row
+        print(
+            f"{name:10s} delta={row['delta_records']:4d} ({row['delta_fraction']:.2%})"
+            f"  incr={inc_io:10.0f}us  full={full_io:10.0f}us"
+            f"  saved={100 * reduction:5.1f}%"
+            f"  steps {row['incremental_supersteps']}/{row['full_supersteps']}"
+        )
+    return out
+
+
 def check_regression(baseline_path: str, threshold: float, repeats: int) -> int:
     """CI gate: fail when any smoke speedup regresses past ``threshold``."""
     committed = json.loads(Path(baseline_path).read_text())
@@ -296,15 +374,46 @@ def check_regression(baseline_path: str, threshold: float, repeats: int) -> int:
                 )
             if got["saved_us"] <= 0.0:
                 failed.append(f"{name}: parallel executor saved no simulated time")
+    stream_ref = committed.get("smoke", {}).get("stream")
+    if stream_ref:
+        stream_now = measure_stream("test")
+        if stream_now is None:
+            return 1
+        for name, ref in stream_ref.items():
+            got = stream_now.get(name)
+            if got is None:
+                failed.append(f"{name}: kernel missing from stream benchmark")
+                continue
+            floor = threshold * ref["io_reduction"]
+            beats = got["incremental_io_us"] < got["full_io_us"]
+            ok = got["io_reduction"] >= floor and beats
+            print(
+                f"{name:10s} stream: committed saved={ref['io_reduction']:.1%}  "
+                f"measured={got['io_reduction']:.1%}  floor={floor:.1%}  "
+                f"{'ok' if ok else 'REGRESSED'}"
+            )
+            if got["io_reduction"] < floor:
+                failed.append(
+                    f"{name}: incremental io reduction {got['io_reduction']:.1%} "
+                    f"fell below {floor:.1%} ({threshold:.0%} of committed "
+                    f"{ref['io_reduction']:.1%})"
+                )
+            if not beats:
+                failed.append(
+                    f"{name}: incremental recompute no longer beats full "
+                    f"({got['incremental_io_us']:.0f}us >= {got['full_io_us']:.0f}us)"
+                )
     if failed:
         for msg in failed:
             print(f"ERROR: {msg}", file=sys.stderr)
         return 1
     n_cache = len(cache_ref) if cache_ref else 0
     n_par = len(parallel_ref) if parallel_ref else 0
+    n_stream = len(stream_ref) if stream_ref else 0
     print(
         f"benchmark gate OK ({len(reference)} kernels within {threshold:.0%} of "
-        f"reference; {n_cache} cache and {n_par} parallel reference(s) validated)"
+        f"reference; {n_cache} cache, {n_par} parallel and {n_stream} stream "
+        f"reference(s) validated)"
     )
     return 0
 
@@ -340,6 +449,12 @@ def main() -> int:
              "executor at N workers (deterministic; lands in the report's "
              "'parallel' section)",
     )
+    ap.add_argument(
+        "--stream", action="store_true",
+        help="also compare simulated I/O of incremental vs full recompute "
+             "after a small update batch (deterministic; lands in the "
+             "report's 'stream' section)",
+    )
     args = ap.parse_args()
 
     if args.check:
@@ -362,6 +477,12 @@ def main() -> int:
         print(f"-- parallel interval executor, {args.workers} workers (simulated latency) --")
         parallel = measure_parallel(scale, steps_scale, args.workers)
         if parallel is None:
+            return 1
+    stream = None
+    if args.stream:
+        print("-- incremental vs full recompute after a small delta (simulated I/O) --")
+        stream = measure_stream(scale)
+        if stream is None:
             return 1
 
     section = {
@@ -389,6 +510,13 @@ def main() -> int:
         }
     if parallel is not None:
         section["parallel"] = parallel
+    if stream is not None:
+        section["stream"] = stream
+        section["stream_config"] = {
+            "delta_fraction": 0.005,
+            "compact_threshold": cfg.stream_compact_threshold,
+            "max_delta_fraction": cfg.stream_max_delta_fraction,
+        }
 
     if args.smoke:
         if not args.out:

@@ -19,7 +19,13 @@ Checks, in order:
 5. ``parallel_stats`` counters (groups/spec_us/saved_us/makespan_us)
    never decrease within a run segment -- the interval executor's
    overlap model accumulates for the run's lifetime, so a drop means
-   scheduler state was silently reset.
+   scheduler state was silently reset;
+6. ``ingest_stats`` events carry a valid ``phase`` plus non-negative
+   integer ``seq``/``records``/``pages``, and ``seq`` never decreases
+   within a run segment -- the update-log batch counter is monotone for
+   the store's lifetime, so a drop means the commit log was corrupted;
+7. ``compaction`` events carry non-negative integer ``interval``/
+   ``live``/``dropped``/``pages_read``/``pages_written``.
 
 Any violation prints the offending line number and exits non-zero.
 
@@ -44,6 +50,15 @@ CACHE_COUNTERS = ("hits", "misses", "evictions", "insertions", "invalidations")
 #: ``parallel_stats`` fields that must be non-decreasing within a segment.
 PARALLEL_COUNTERS = ("groups", "spec_us", "saved_us", "makespan_us")
 
+#: ``ingest_stats`` fields that must be non-negative integers.
+INGEST_FIELDS = ("seq", "records", "pages")
+
+#: ``ingest_stats`` phases the stream store emits.
+INGEST_PHASES = ("ingest", "apply")
+
+#: ``compaction`` fields that must be non-negative integers.
+COMPACTION_FIELDS = ("interval", "live", "dropped", "pages_read", "pages_written")
+
 
 def validate_file(path: Path) -> list:
     """Return a list of violation strings for one trace file."""
@@ -51,6 +66,7 @@ def validate_file(path: Path) -> list:
     last_t = None
     last_cache = None
     last_parallel = None
+    last_seq = None
     segment_start = 0
     n_events = 0
     n_segments = 0
@@ -90,6 +106,7 @@ def validate_file(path: Path) -> list:
             last_t = None
             last_cache = None
             last_parallel = None
+            last_seq = None
             segment_start = lineno
             n_segments += 1
         if last_t is not None and t_us < last_t:
@@ -130,6 +147,37 @@ def validate_file(path: Path) -> list:
                         f"line {segment_start}"
                     )
             last_parallel = ev
+        if kind == "ingest_stats":
+            if ev.get("phase") not in INGEST_PHASES:
+                errors.append(
+                    f"{path}:{lineno}: ingest_stats phase must be one of "
+                    f"{INGEST_PHASES}, got {ev.get('phase')!r}"
+                )
+            bad = False
+            for field in INGEST_FIELDS:
+                cur = ev.get(field)
+                if not isinstance(cur, int) or isinstance(cur, bool) or cur < 0:
+                    errors.append(
+                        f"{path}:{lineno}: ingest_stats missing/negative/"
+                        f"non-integer {field!r}"
+                    )
+                    bad = True
+            if not bad:
+                if last_seq is not None and ev["seq"] < last_seq:
+                    errors.append(
+                        f"{path}:{lineno}: ingest_stats seq decreased "
+                        f"({ev['seq']} < {last_seq}) within the run segment "
+                        f"starting at line {segment_start}"
+                    )
+                last_seq = ev["seq"]
+        if kind == "compaction":
+            for field in COMPACTION_FIELDS:
+                cur = ev.get(field)
+                if not isinstance(cur, int) or isinstance(cur, bool) or cur < 0:
+                    errors.append(
+                        f"{path}:{lineno}: compaction missing/negative/"
+                        f"non-integer {field!r}"
+                    )
     if n_events == 0 and not errors:
         errors.append(f"{path}: trace is empty")
     if not errors:
