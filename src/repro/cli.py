@@ -258,6 +258,20 @@ def cmd_compute(args) -> int:
         if not Path(args.updates).is_file():
             print(f"--updates file not found: {args.updates}", file=sys.stderr)
             return 2
+    cache_enabled = args.cache_policy != "none" or args.cache_bytes is not None
+    if args.io_plan == "coalesce+readahead" and not cache_enabled:
+        print(
+            "--io-plan coalesce+readahead requires a page cache to prefetch "
+            "into: add --cache-policy clock (or --cache-bytes)",
+            file=sys.stderr,
+        )
+        return 2
+    if args.readahead_pages is not None and args.io_plan != "coalesce+readahead":
+        print(
+            "--readahead-pages only applies with --io-plan coalesce+readahead",
+            file=sys.stderr,
+        )
+        return 2
 
     weighted = args.weighted or args.algorithm in _NEEDS_WEIGHTS
     graph = _compute_dataset(args.dataset, args.scale, weighted)
@@ -268,6 +282,8 @@ def cmd_compute(args) -> int:
         cfg = cfg.with_cache(policy="clock", cache_bytes=args.cache_bytes)
     if args.workers is not None:
         cfg = cfg.with_workers(args.workers)
+    if args.io_plan != "off":
+        cfg = cfg.with_io_plan(args.io_plan, readahead_pages=args.readahead_pages)
     opt_kwargs = {}
     if caps.supports_checkpoint:
         opt_kwargs = dict(
@@ -674,6 +690,16 @@ def build_parser() -> argparse.ArgumentParser:
     comp.add_argument("--cache-bytes", type=int, default=None, metavar="BYTES",
                       help="cache budget; implies --cache-policy clock "
                            "(default: the cache_fraction share of host DRAM)")
+    comp.add_argument("--io-plan", choices=("off", "coalesce", "coalesce+readahead"),
+                      default="off",
+                      help="superstep I/O planner: off (per-path batches), coalesce "
+                           "(extent reads + channel-balanced waves), or "
+                           "coalesce+readahead (adds next-group prefetch; requires "
+                           "--cache-policy clock).  Values are identical in every "
+                           "mode; only simulated storage time changes (default: off)")
+    comp.add_argument("--readahead-pages", type=int, default=None, metavar="N",
+                      help="per-superstep prefetch page budget; only valid with "
+                           "--io-plan coalesce+readahead (default: 64)")
     comp.add_argument("--fault", default=None, metavar="SPEC",
                       help="inject a fault: KIND@OPS[:KLASS], KIND in crash/torn/error "
                            "(e.g. crash@40, torn@10:mlog, error@5:csr_col)")

@@ -46,6 +46,22 @@ def _default_num_workers() -> int:
         return 1
 
 
+#: Valid values for :attr:`SimConfig.io_plan`, in increasing ambition.
+IO_PLAN_MODES = ("off", "coalesce", "coalesce+readahead")
+
+
+def _default_io_plan() -> str:
+    """Default superstep I/O planner mode.
+
+    Reads ``REPRO_IO_PLAN`` so the CI matrix can run the whole test
+    suite with the planner engaged without touching any call site;
+    values and records are bit-identical in every mode (DESIGN.md §13),
+    so like ``REPRO_NUM_WORKERS`` this is a coverage knob.
+    """
+    mode = os.environ.get("REPRO_IO_PLAN", "off")
+    return mode if mode in IO_PLAN_MODES else "off"
+
+
 @dataclass(frozen=True)
 class SSDConfig:
     """Geometry and timing of the simulated flash device.
@@ -282,6 +298,20 @@ class SimConfig:
     #: canonical interval order.  The default honours the
     #: ``REPRO_NUM_WORKERS`` environment variable (CI matrix knob).
     num_workers: int = field(default_factory=_default_num_workers)
+    #: Superstep I/O planner (DESIGN.md §13).  ``"off"`` (the default)
+    #: reproduces the seed's per-path device batches exactly;
+    #: ``"coalesce"`` collects each group's page demand and charges it
+    #: as extent reads plus channel-balanced dispatch waves;
+    #: ``"coalesce+readahead"`` additionally prefetches the predicted
+    #: next group's pages into the CLOCK page cache (requires
+    #: ``cache_policy != "none"`` to have any effect).  Values, records
+    #: and semantic traces are bit-identical in every mode; only
+    #: batching and simulated storage time change.  The default honours
+    #: the ``REPRO_IO_PLAN`` environment variable (CI matrix knob).
+    io_plan: str = field(default_factory=_default_io_plan)
+    #: Page budget per superstep for the planner's cache-aware
+    #: read-ahead (``io_plan="coalesce+readahead"`` only).
+    readahead_pages: int = 64
     #: Streaming update store (DESIGN.md §12): an interval is compacted
     #: -- its surviving edges rewritten as a fresh base CSR and its
     #: delta log truncated -- when dead + tombstone records exceed this
@@ -317,6 +347,12 @@ class SimConfig:
             )
         if self.cache_bytes is not None and self.cache_bytes < self.ssd.page_size:
             raise ConfigError("cache_bytes must hold at least one SSD page")
+        if self.io_plan not in IO_PLAN_MODES:
+            raise ConfigError(
+                f"io_plan must be one of {IO_PLAN_MODES}, got {self.io_plan!r}"
+            )
+        if self.readahead_pages < 0:
+            raise ConfigError("readahead_pages must be non-negative")
         if self.memory.multilog_bytes < self.ssd.page_size:
             raise ConfigError(
                 "multi-log buffer smaller than one SSD page: raise total_bytes or multilog_fraction"
@@ -357,6 +393,13 @@ class SimConfig:
             kwargs["stream_compact_threshold"] = compact_threshold
         if max_delta_fraction is not None:
             kwargs["stream_max_delta_fraction"] = max_delta_fraction
+        return dataclasses.replace(self, **kwargs)
+
+    def with_io_plan(self, mode: str, readahead_pages: Optional[int] = None) -> "SimConfig":
+        """Return a copy with the superstep I/O planner configured."""
+        kwargs = {"io_plan": mode}
+        if readahead_pages is not None:
+            kwargs["readahead_pages"] = readahead_pages
         return dataclasses.replace(self, **kwargs)
 
     def with_cache(self, policy: str = "clock", cache_bytes: Optional[int] = None) -> "SimConfig":

@@ -128,7 +128,7 @@ class EdgeLogOptimizer:
         pages = np.repeat(firsts, counts) + offsets
         return np.unique(pages)
 
-    def charge_read(self, hit_vertices: np.ndarray, defer: bool = False) -> Tuple[float, int]:
+    def charge_read(self, hit_vertices: np.ndarray, defer: bool = False, plan=None) -> Tuple[float, int]:
         """Charge reads of the log pages covering the given hit vertices.
 
         ``defer=True`` (parallel executor, worker thread) skips the
@@ -137,12 +137,17 @@ class EdgeLogOptimizer:
         them with :meth:`apply_read_tally` at the group's commit point.
         The device charge itself is already deferred by the caller's
         thread-local charge queue.
+
+        With ``plan`` (DESIGN.md §13) the page demand is queued on the
+        group's I/O plan; the caller attributes the coalesced wave time
+        via :meth:`apply_read_tally` after the plan executes, so the
+        accumulators are skipped here regardless of ``defer``.
         """
         pages = self.pages_of(hit_vertices)
         if pages.size == 0 or self._file_cur is None:
             return 0.0, 0
-        _, t = self._file_cur.read_pages(pages)
-        if not defer:
+        _, t = self._file_cur.read_pages(pages, plan=plan)
+        if plan is None and not defer:
             with self._io_lock:
                 self.io_time_us += t
                 self.pages_read_total += int(pages.size)

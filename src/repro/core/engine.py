@@ -29,6 +29,8 @@ import numpy as np
 from ..config import DEFAULT_CONFIG, SimConfig
 from ..errors import EngineError, ProgramError, RecoveryError
 from ..graph.csr import CSRGraph
+from ..io.plan import KLASS_READAHEAD
+from ..io.planner import SuperstepIOPlanner
 from ..graph.partition import partition_by_update_volume
 from ..graph.storage import GraphOnSSD
 from ..mem.budget import MemoryBudget
@@ -40,9 +42,9 @@ from ..recovery.checkpoint import CheckpointData, CheckpointManager
 from ..ssd.filesystem import SimFS
 from .active import ActiveTracker
 from .api import InitialState, VertexContext, VertexProgram
-from .edgelog import EdgeLogOptimizer
+from .edgelog import KLASS_EDGELOG, EdgeLogOptimizer
 from .loader import GraphLoaderUnit
-from .multilog import ConsumeLedger, MultiLogUnit
+from .multilog import KLASS_MLOG, ConsumeLedger, MultiLogUnit
 from .mutation import MutationBuffer
 from .pipeline import GroupPipeline, PreparedGroup, charge_rollup
 from .scheduler import GroupWork, OverlapModel, ParallelGroupScheduler, VertexWork
@@ -228,6 +230,22 @@ class MultiLogVC:
             else None
         )
         mutations = MutationBuffer(self.storage, cfg) if prog.mutates_structure else None
+        # Superstep I/O planner (DESIGN.md §13): groups collect their
+        # page demand on a per-group plan and charge it as coalesced
+        # extent reads plus channel-balanced waves.  Values and records
+        # are bit-identical with the planner on or off; only batching
+        # and simulated storage time change.  Read-ahead needs a cache
+        # to prefetch into (and the cache already forces serial
+        # execution, which keeps its CLOCK state deterministic).
+        planner = None
+        if cfg.io_plan != "off":
+            planner = SuperstepIOPlanner(
+                self.fs.device,
+                cache=self.fs.cache,
+                mode=cfg.io_plan,
+                readahead_pages=cfg.readahead_pages,
+            )
+            planner.register_metrics(reg)
         ckpt_mgr = None
         if self.options.checkpoint_every > 0 or resume_from is not None:
             if prog.mutates_structure:
@@ -306,7 +324,7 @@ class MultiLogVC:
                 max_supersteps, records, pipeline, meter, tracker,
                 mlog_cur, mlog_next, sortgroup, loader, edgelog, mutations,
                 mutate_cb, values, prog, cfg, rng, start_step, ckpt_mgr,
-                scheduler, overlap,
+                scheduler, overlap, planner,
             )
         except _Converged:
             converged = True
@@ -402,7 +420,7 @@ class MultiLogVC:
         self, max_supersteps, records, pipeline, meter, tracker,
         mlog_cur, mlog_next, sortgroup, loader, edgelog, mutations,
         mutate_cb, values, prog, cfg, rng, start_step=0, ckpt_mgr=None,
-        scheduler=None, overlap=None,
+        scheduler=None, overlap=None, planner=None,
     ) -> None:
         """Run supersteps until convergence (raises :class:`_Converged`)."""
         tracer = self.tracer
@@ -435,13 +453,25 @@ class MultiLogVC:
                     group_sizes=[len(g) for g in groups],
                 )
 
+            # Read-ahead prediction needs the *next* group's vertex span
+            # at prepare time; precompute it from the group plan.
+            next_span = {}
+            if planner is not None and planner.readahead_enabled:
+                for gi in range(len(groups) - 1):
+                    ng = groups[gi + 1]
+                    next_span[tuple(groups[gi])] = (
+                        self.intervals.span(ng[0])[0],
+                        self.intervals.span(ng[-1])[1],
+                    )
+
             def prepare(group, mlog=mlog_cur, mnext=mlog_next, ids=active_ids, ledger=None):
+                plan = planner.new_plan() if planner is not None else None
                 extra: Optional[UpdateBatch] = None
                 if self.mode == "async":
                     extra = mnext.consume(group)
                 sg = sortgroup.load_group(
                     mlog, group, combine=prog.combine, extra=extra,
-                    charge_sort=False, ledger=ledger,
+                    charge_sort=False, ledger=ledger, plan=plan,
                 )
                 self_act = ids[(ids >= sg.vertex_lo) & (ids < sg.vertex_hi)]
                 verts = np.union1d(sg.unique_dests.astype(np.int64), self_act)
@@ -449,9 +479,34 @@ class MultiLogVC:
                 if verts.size:
                     report = loader.load_active(
                         verts, prog.needs_weights, prog.uses_edge_state, edgelog,
-                        defer=ledger is not None,
+                        defer=ledger is not None, plan=plan,
                     )
-                return PreparedGroup(list(group), sg, verts, report)
+                outcome = None
+                if plan is not None:
+                    span = next_span.get(tuple(group))
+                    if span is not None:
+                        planner.collect_readahead(
+                            plan, self.storage, edgelog, ids, span[0], span[1],
+                            prog.needs_weights or prog.uses_edge_state,
+                        )
+                    outcome = plan.execute()
+                    # Route each wave's time to the accumulator the
+                    # uncoalesced reads would have fed (the plan's add
+                    # calls all returned 0.0).
+                    for klass, t in outcome.times.items():
+                        if klass == KLASS_MLOG:
+                            if ledger is None:
+                                mlog.io_time_us += t
+                            else:
+                                ledger.io_times.append(t)
+                        elif klass == KLASS_EDGELOG:
+                            report.edgelog_io_time_us += t
+                            report.io_time_us += t
+                            if ledger is None and edgelog is not None:
+                                edgelog.apply_read_tally(t, report.edgelog_pages)
+                        elif klass != KLASS_READAHEAD and report is not None:
+                            report.io_time_us += t
+                return PreparedGroup(list(group), sg, verts, report, io_plan=outcome)
 
             processed = 0
             updates_processed = 0
@@ -471,7 +526,7 @@ class MultiLogVC:
                 ) = self._run_groups_parallel(
                     groups, prepare, scheduler, overlap, meter, tracker,
                     mlog_cur, mlog_next, sortgroup, loader, edgelog,
-                    values, prog, cfg, rng, step,
+                    values, prog, cfg, rng, step, planner,
                 )
             serial_groups = groups if scheduler is None else []
             for g_index, (prepared, charges) in enumerate(pipeline.run(serial_groups, prepare)):
@@ -481,6 +536,8 @@ class MultiLogVC:
                 # group_load is stamped after the commit, so traces are
                 # bit-identical at any pipeline depth.
                 self.fs.device.commit(charges)
+                if planner is not None:
+                    planner.apply(prepared.io_plan)
                 meter.charge_sort(prepared.sg.sort_items)
                 sg = prepared.sg
                 verts = prepared.verts
@@ -663,6 +720,8 @@ class MultiLogVC:
                     tracer.emit("cache_stats", **self.fs.cache.snapshot())
                 if overlap is not None:
                     tracer.emit("parallel_stats", **overlap.snapshot())
+                if planner is not None:
+                    tracer.emit("io_plan_stats", **planner.snapshot())
             if self.progress is not None:
                 self.progress(rec)
             tracker.advance()
@@ -814,7 +873,7 @@ class MultiLogVC:
     def _run_groups_parallel(
         self, groups, prepare, scheduler, overlap, meter, tracker,
         mlog_cur, mlog_next, sortgroup, loader, edgelog,
-        values, prog, cfg, rng, step,
+        values, prog, cfg, rng, step, planner=None,
     ):
         """Commit speculated groups in canonical order (accounting thread).
 
@@ -844,6 +903,8 @@ class MultiLogVC:
             compute_before = meter.time_us
             io_us = sum(op[4] for op in charges)
             self.fs.device.commit(charges)
+            if planner is not None:
+                planner.apply(work.prepared.io_plan)
             mlog_cur.apply_consume_ledger(work.ledger)
             sortgroup.apply_ledger(work.ledger)
             prepared = work.prepared

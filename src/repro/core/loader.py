@@ -94,6 +94,7 @@ class GraphLoaderUnit:
         use_edge_state: bool,
         edgelog: Optional[EdgeLogOptimizer] = None,
         defer: bool = False,
+        plan=None,
     ) -> LoadReport:
         """Charge the page loads for a sorted array of active vertices.
 
@@ -108,6 +109,11 @@ class GraphLoaderUnit:
         the caller applies them from the report at the group's commit
         point via :meth:`apply_report` (page reads themselves are
         already deferred by the device's thread-local charge queue).
+
+        With ``plan`` (DESIGN.md §13) every page read is queued on the
+        group's I/O plan instead of charged per range; the report's time
+        fields stay zero and the engine attributes the coalesced wave
+        times from the plan's outcome.  Page *counts* are unaffected.
         """
         active = np.asarray(active, dtype=np.int64)
         report = LoadReport()
@@ -132,7 +138,7 @@ class GraphLoaderUnit:
             local, starts, stops = self.storage.local_ranges(i, v)
 
             # Row pointers: entries [local, local + 2) per vertex.
-            t, pages, _ = files.rowptr.read_ranges(local, local + 2)
+            t, pages, _ = files.rowptr.read_ranges(local, local + 2, plan=plan)
             report.io_time_us += t
             report.rowptr_pages += int(pages.shape[0])
 
@@ -160,12 +166,12 @@ class GraphLoaderUnit:
             report.edgelog_hits += int(hit_mask.sum())
 
             # Misses read the real colidx (and val) pages.
-            t, pages, useful = files.colidx.read_ranges(starts[miss], stops[miss])
+            t, pages, useful = files.colidx.read_ranges(starts[miss], stops[miss], plan=plan)
             report.io_time_us += t
             report.colidx_pages += int(pages.shape[0])
             report.colidx_useful.append(useful)
             if (need_weights or use_edge_state) and files.values is not None:
-                t, vpages, _ = files.values.read_ranges(starts[miss], stops[miss])
+                t, vpages, _ = files.values.read_ranges(starts[miss], stops[miss], plan=plan)
                 report.io_time_us += t
                 report.val_pages += int(vpages.shape[0])
 
@@ -190,7 +196,7 @@ class GraphLoaderUnit:
         if edgelog is not None:
             hits_all = active[hit_all_mask]
             if hits_all.size:
-                t, n_pages = edgelog.charge_read(hits_all, defer=defer)
+                t, n_pages = edgelog.charge_read(hits_all, defer=defer, plan=plan)
                 report.io_time_us += t
                 report.edgelog_io_time_us += t
                 report.edgelog_pages += n_pages

@@ -298,7 +298,7 @@ class MultiLogUnit:
     # -- consumption (sort-and-group read path) ----------------------------------------
 
     def consume(
-        self, interval_ids: List[int], ledger: Optional[ConsumeLedger] = None
+        self, interval_ids: List[int], ledger: Optional[ConsumeLedger] = None, plan=None
     ) -> UpdateBatch:
         """Load and clear the logs of an interval group.
 
@@ -312,13 +312,21 @@ class MultiLogUnit:
         caller applies them via :meth:`apply_consume_ledger` at the
         group's commit point.  Per-interval state is group-local and is
         still cleared in place.
+
+        With ``plan`` (DESIGN.md §13), each log's page demand is queued
+        on the plan instead of charged per file -- crucially *before*
+        the ``truncate()`` below moves the file's page ids -- and the
+        caller attributes the coalesced wave time after the plan
+        executes, so per-read durations are not appended here.
         """
         parts: List[UpdateBatch] = []
         for i in interval_ids:
             f = self._files[i]
             if f is not None and f.n_pages:
-                payloads, t = f.read_all()
-                if ledger is None:
+                payloads, t = f.read_all(plan=plan)
+                if plan is not None:
+                    pass  # wave time attributed from the plan outcome
+                elif ledger is None:
                     self.io_time_us += t
                 else:
                     ledger.io_times.append(t)

@@ -62,6 +62,10 @@ class PreparedGroup:
     verts: np.ndarray
     #: ``None`` when ``verts`` is empty (nothing was loaded)
     report: Optional[LoadReport] = None
+    #: executed I/O plan outcome (DESIGN.md §13); ``None`` when the
+    #: planner is off.  Folded into the planner's cumulative tallies at
+    #: the group's commit point, in canonical group order.
+    io_plan: Optional[object] = None
 
 
 PrepareFn = Callable[[List[int]], PreparedGroup]

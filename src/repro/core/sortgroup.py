@@ -143,6 +143,7 @@ class SortGroupUnit:
         extra: Optional[UpdateBatch] = None,
         charge_sort: bool = True,
         ledger: Optional[ConsumeLedger] = None,
+        plan=None,
     ) -> SortedGroup:
         """Consume an interval group's logs and sort/group them in memory.
 
@@ -155,8 +156,13 @@ class SortGroupUnit:
         and the multi-log's shared cumulative tallies to the commit
         point; apply with :meth:`apply_ledger` /
         :meth:`~repro.core.multilog.MultiLogUnit.apply_consume_ledger`.
+        ``plan`` (DESIGN.md §13) queues the log reads on a group I/O
+        plan instead of charging per file.
         """
-        batch = multilog.consume(interval_ids, ledger=ledger)
+        if plan is not None:
+            batch = multilog.consume(interval_ids, ledger=ledger, plan=plan)
+        else:
+            batch = multilog.consume(interval_ids, ledger=ledger)
         if extra is not None and extra.n:
             batch = UpdateBatch.concat([batch, extra])
         overflowed = batch.n * self.config.records.update_bytes > self.budget.sort_bytes

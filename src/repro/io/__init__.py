@@ -1,0 +1,16 @@
+"""Superstep I/O planning: demand collection, extent coalescing,
+channel-balanced dispatch waves and cache-aware read-ahead
+(DESIGN.md §13)."""
+
+from .plan import KLASS_READAHEAD, IOPlan, PlanOutcome, balance_channels, split_runs
+from .planner import IO_PLAN_MODES, SuperstepIOPlanner
+
+__all__ = [
+    "IOPlan",
+    "IO_PLAN_MODES",
+    "KLASS_READAHEAD",
+    "PlanOutcome",
+    "SuperstepIOPlanner",
+    "balance_channels",
+    "split_runs",
+]

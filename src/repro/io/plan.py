@@ -1,0 +1,266 @@
+"""Per-group I/O demand plan: collect, coalesce, dispatch (DESIGN.md §13).
+
+The seed engine's read paths each submit their own device batch: every
+interval's rowptr ranges, colidx ranges, value ranges and multi-log
+``read_all`` pay a separate ``batch_overhead_us`` and a separate
+``max_over_channels`` latency term.  FlashGraph's user-task I/O layer
+closes exactly this gap by merging adjacent requests before they reach
+the SSD; :class:`IOPlan` is the simulation-side equivalent.
+
+A plan lives for one prepared group.  Read paths call :meth:`add`
+*instead of* charging the device; the plan snapshots each path's page
+demand (cache-filtered at add time, in the same order the uncoalesced
+reads would have consulted the cache, and with the channel placement
+captured before any later truncate can move it).  :meth:`execute` then
+charges the whole group's demand as one submission per storage class:
+
+* runs of adjacent pages in the same file become **extents**, charged
+  through :meth:`SimulatedSSD.read_plan`'s sequential path (contiguous
+  pages are interspersed across channels, so an extent of ``L`` pages
+  costs ``ceil(L/C)`` latencies -- the same cost
+  ``sequential_read_time`` models);
+* the remaining scattered pages are reordered **channel-round-robin**
+  and dispatched in bounded waves, so each wave's per-channel queue
+  depths differ by at most one given the demand's channel multiset.
+
+Because per-class page counts are preserved exactly (only the batching
+changes), ``pages_read`` and per-class stats stay bit-identical to the
+unplanned engine; only batch counts and simulated time shrink.
+
+Determinism: a plan is built and executed inside one ``prepare()``
+call, under the device's deferred-charge queue whenever the pipeline or
+the parallel executor is active, so the coalesced charges commit at the
+canonical group-order point exactly like uncoalesced ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..errors import StorageError
+
+#: Storage class the read-ahead prefetcher charges under.  Keeping it
+#: distinct from the demand classes means ``coalesce`` mode's per-class
+#: page counts stay bit-identical to planner-off mode.
+KLASS_READAHEAD = "readahead"
+
+#: Minimum run length (in adjacent pages) promoted to an extent; a
+#: single page gains nothing from the sequential path.
+MIN_EXTENT_PAGES = 2
+
+#: Scattered-dispatch bound: one wave submits at most this many pages
+#: per channel, modelling a bounded per-channel submission queue.
+WAVE_QUEUE_DEPTH = 64
+
+
+def split_runs(page_ids: np.ndarray) -> List[Tuple[int, int]]:
+    """Split sorted page ids into maximal runs ``(first_page, length)``.
+
+    Input must be sorted and unique (every read path in the tree hands
+    over sorted unique page ids); duplicates would silently merge.
+    """
+    ids = np.asarray(page_ids, dtype=np.int64)
+    if ids.size == 0:
+        return []
+    breaks = np.flatnonzero(np.diff(ids) != 1)
+    starts = np.concatenate(([0], breaks + 1))
+    stops = np.concatenate((breaks + 1, [ids.size]))
+    return [(int(ids[a]), int(b - a)) for a, b in zip(starts, stops)]
+
+
+def balance_channels(channels: np.ndarray) -> np.ndarray:
+    """Reorder a channel vector round-robin across channels.
+
+    Stable-sorts by channel, ranks each page within its channel's queue,
+    then orders by ``(rank, channel)``: position ``k`` of the output
+    holds the ``k // n_channels``-th page of each channel in turn.  Any
+    contiguous wave cut from the result has per-channel queue depths
+    within one of the best achievable for the given channel multiset.
+    """
+    ch = np.asarray(channels, dtype=np.int64)
+    if ch.size <= 1:
+        return ch
+    ch = ch[np.argsort(ch, kind="stable")]
+    first = np.searchsorted(ch, ch)  # index of each channel's first page
+    rank = np.arange(ch.size, dtype=np.int64) - first
+    return ch[np.lexsort((ch, rank))]
+
+
+@dataclass
+class PlanOutcome:
+    """What one executed plan did, for attribution and the ``io.*`` tallies.
+
+    ``times`` maps each demand storage class to the simulated time its
+    waves charged, so callers can route the wave cost back to the same
+    accumulators the uncoalesced reads would have fed (multi-log unit,
+    edge-log tallies, load report).  Read-ahead time is kept separate
+    under :data:`KLASS_READAHEAD`.
+    """
+
+    demand_pages: int = 0
+    cache_hit_pages: int = 0
+    batches_folded: int = 0
+    extents: int = 0
+    extent_pages: int = 0
+    scattered_pages: int = 0
+    waves: int = 0
+    time_us: float = 0.0
+    baseline_time_us: float = 0.0
+    readahead_pages: int = 0
+    readahead_time_us: float = 0.0
+    times: Dict[str, float] = field(default_factory=dict)
+
+    def time_of(self, klass: str) -> float:
+        return self.times.get(klass, 0.0)
+
+    @property
+    def saved_us(self) -> float:
+        """Simulated time the coalesced dispatch saved vs per-path batches.
+
+        Compares demand waves only (read-ahead is extra, speculative
+        I/O, not a rebatching of existing demand).  Never negative:
+        merging batches drops whole ``batch_overhead_us`` payments and a
+        max-of-sums never exceeds the sum-of-maxes.
+        """
+        return self.baseline_time_us - (self.time_us - self.readahead_time_us)
+
+
+class IOPlan:
+    """Collects one group's page demand, then charges it coalesced."""
+
+    def __init__(self, device) -> None:
+        self.device = device
+        # One entry per read path: (klass, channel_offset, miss page ids).
+        self._demand: List[Tuple[str, int, np.ndarray]] = []
+        # Read-ahead queue: (file, page ids) admitted+pinned post-charge.
+        self._readahead: List[Tuple[Any, np.ndarray]] = []
+        self._executed = False
+        self._demand_pages = 0
+        self._cache_hit_pages = 0
+
+    # -- demand collection ------------------------------------------------
+
+    def add(self, file, page_ids: np.ndarray, klass: Optional[str] = None) -> float:
+        """Queue one read path's demand instead of charging the device.
+
+        Mirrors :meth:`SimFileBase._charge_read` exactly: the cache is
+        consulted here, at add time, in the same order the uncoalesced
+        read would have -- so hit/miss sequences (and therefore charged
+        page counts) are bit-identical to planner-off mode -- and the
+        miss pages' channel placement is captured via the file's current
+        ``channel_offset``, immune to a later truncate of the same file.
+
+        Returns 0.0: the wave cost is attributed by the caller from
+        :class:`PlanOutcome` after :meth:`execute`.
+        """
+        if self._executed:
+            raise StorageError("IOPlan.add() after execute()")
+        ids = np.asarray(page_ids, dtype=np.int64)
+        self._demand_pages += int(ids.size)
+        cache = file.cache
+        if cache is not None and ids.size:
+            miss = cache.access(file.name, ids)
+            self._cache_hit_pages += int(ids.size - np.count_nonzero(miss))
+            ids = ids[miss]
+        if ids.size:
+            self._demand.append((klass or file.klass, int(file.channel_offset), ids))
+        return 0.0
+
+    def add_readahead(self, file, page_ids: np.ndarray) -> None:
+        """Queue a prefetch: charged under :data:`KLASS_READAHEAD`, then
+        admitted into the file's cache (pinned until the whole prefetch
+        set is resident, so a later admission cannot evict an earlier
+        one)."""
+        if self._executed:
+            raise StorageError("IOPlan.add_readahead() after execute()")
+        ids = np.asarray(page_ids, dtype=np.int64)
+        if ids.size:
+            self._readahead.append((file, ids))
+
+    # -- execution --------------------------------------------------------
+
+    def _dispatch(
+        self, demand: List[Tuple[str, int, np.ndarray]], outcome: PlanOutcome
+    ) -> Dict[str, float]:
+        """Charge one klass-ordered wave set for ``demand``; returns times."""
+        device = self.device
+        by_klass: Dict[str, Tuple[List[Tuple[int, int]], List[np.ndarray]]] = {}
+        for klass, offset, ids in demand:
+            extents, scattered = by_klass.setdefault(klass, ([], []))
+            outcome.batches_folded += 1
+            outcome.baseline_time_us += device.read_batch_time(
+                (ids + offset) % device.channels
+            )
+            singles = []
+            for first, length in split_runs(ids):
+                if length >= MIN_EXTENT_PAGES:
+                    extents.append(((first + offset) % device.channels, length))
+                    outcome.extents += 1
+                    outcome.extent_pages += length
+                else:
+                    singles.append(first)
+            if singles:
+                scattered.append(
+                    (np.asarray(singles, dtype=np.int64) + offset) % device.channels
+                )
+        times: Dict[str, float] = {}
+        wave_cap = device.channels * WAVE_QUEUE_DEPTH
+        for klass in sorted(by_klass):
+            extents, scattered = by_klass[klass]
+            ch = (
+                balance_channels(np.concatenate(scattered))
+                if scattered
+                else np.empty(0, dtype=np.int64)
+            )
+            outcome.scattered_pages += int(ch.size)
+            t = 0.0
+            # First wave carries every extent plus the head of the
+            # scattered queue; overflow drains in further bounded waves.
+            t += device.read_plan(klass, extents, ch[:wave_cap])
+            outcome.waves += 1
+            for at in range(wave_cap, ch.size, wave_cap):
+                t += device.read_plan(klass, [], ch[at : at + wave_cap])
+                outcome.waves += 1
+            times[klass] = t
+        return times
+
+    def execute(self) -> PlanOutcome:
+        """Charge the collected demand; returns the attribution record.
+
+        Waves are charged in sorted-klass order (deterministic), then
+        the read-ahead wave, then prefetched pages are admitted into
+        their caches under a pin that is only released once the whole
+        prefetch set is resident.
+        """
+        if self._executed:
+            raise StorageError("IOPlan.execute() called twice")
+        self._executed = True
+        outcome = PlanOutcome(
+            demand_pages=self._demand_pages, cache_hit_pages=self._cache_hit_pages
+        )
+        outcome.times = self._dispatch(self._demand, outcome)
+        if self._readahead:
+            ra_demand = [
+                (KLASS_READAHEAD, int(f.channel_offset), ids)
+                for f, ids in self._readahead
+            ]
+            ra_outcome = PlanOutcome()  # keep demand tallies separate
+            outcome.readahead_time_us = self._dispatch(ra_demand, ra_outcome).get(
+                KLASS_READAHEAD, 0.0
+            )
+            outcome.waves += ra_outcome.waves
+            pinned = []
+            for f, ids in self._readahead:
+                if f.cache is None:
+                    continue
+                f.cache.admit(f.name, ids)
+                f.cache.pin(f.name, ids)
+                pinned.append((f.cache, f.name, ids))
+                outcome.readahead_pages += int(ids.size)
+            for cache, name, ids in pinned:
+                cache.unpin(name, ids)
+        outcome.time_us = sum(outcome.times.values()) + outcome.readahead_time_us
+        return outcome

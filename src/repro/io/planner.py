@@ -1,0 +1,206 @@
+"""Superstep I/O planner: plan factory, read-ahead, and ``io.*`` tallies.
+
+:class:`SuperstepIOPlanner` is the engine-facing half of the planning
+layer (DESIGN.md §13).  It decides whether groups get an
+:class:`~repro.io.plan.IOPlan` at all (``io_plan`` knob), predicts the
+*next* group's page demand for cache-aware read-ahead, and owns the
+cumulative counters behind the ``io.*`` gauges and the
+``io_plan_stats`` trace kind.
+
+Counter discipline mirrors the rest of the engine: per-group
+:class:`~repro.io.plan.PlanOutcome` records ride on the prepared group
+and are folded in via :meth:`apply` at the commit point, in canonical
+group order -- so the tallies (floats included) are bit-identical for
+any pipeline depth or worker count.
+
+Read-ahead reuses the activity knowledge the engine already maintains:
+a vertex is processed by the next group only if it is in the active
+tracker's current set (self-activated last superstep or the destination
+of a logged message), so slicing the sorted active array to the next
+group's vertex span *is* the history-based prediction -- exact under
+synchronous delivery, a superset under async.  Predicted vertices map
+to CSR pages the same way the loader will map them one group later;
+pages the edge log covers or that are already cache-resident are
+skipped, and the remainder is prefetched into the CLOCK cache within
+``readahead_pages`` and the cache's existing byte budget.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .plan import IOPlan, PlanOutcome
+
+#: Valid ``io_plan`` knob values, in increasing ambition.
+IO_PLAN_MODES = ("off", "coalesce", "coalesce+readahead")
+
+
+class SuperstepIOPlanner:
+    """Per-run holder of planning mode, read-ahead logic and tallies."""
+
+    def __init__(
+        self,
+        device,
+        cache=None,
+        mode: str = "coalesce",
+        readahead_pages: int = 64,
+    ) -> None:
+        if mode not in IO_PLAN_MODES or mode == "off":
+            raise ValueError(f"planner mode must be an active io_plan value, got {mode!r}")
+        self.device = device
+        self.cache = cache
+        self.mode = mode
+        self.readahead_budget = max(0, int(readahead_pages))
+        # Cumulative (monotonic) tallies, updated only at commit points.
+        self.plans = 0
+        self.demand_pages = 0
+        self.cache_hit_pages = 0
+        self.batches_folded = 0
+        self.extents = 0
+        self.extent_pages = 0
+        self.scattered_pages = 0
+        self.waves = 0
+        self.time_us = 0.0
+        self.saved_us = 0.0
+        self.readahead_pages = 0
+        self.readahead_time_us = 0.0
+
+    # -- mode -------------------------------------------------------------
+
+    @property
+    def readahead_enabled(self) -> bool:
+        """Prefetch only with a cache to prefetch *into*; without one
+        ``coalesce+readahead`` degrades to plain ``coalesce``."""
+        return (
+            self.mode == "coalesce+readahead"
+            and self.cache is not None
+            and self.readahead_budget > 0
+        )
+
+    def new_plan(self) -> IOPlan:
+        return IOPlan(self.device)
+
+    # -- read-ahead -------------------------------------------------------
+
+    def collect_readahead(
+        self,
+        plan: IOPlan,
+        storage,
+        edgelog,
+        active_ids: np.ndarray,
+        next_lo: int,
+        next_hi: int,
+        need_vals: bool,
+    ) -> None:
+        """Queue prefetches for the next group's predicted page demand.
+
+        ``active_ids`` is the superstep's sorted active-vertex array;
+        its slice over ``[next_lo, next_hi)`` predicts the vertices the
+        next group will load (see module docstring).  Page order is
+        deterministic: per interval ascending, rowptr then colidx then
+        values, then the edge log's covering pages, truncated to the
+        ``readahead_pages`` budget.
+        """
+        if not self.readahead_enabled:
+            return
+        verts = active_ids[
+            np.searchsorted(active_ids, next_lo) : np.searchsorted(active_ids, next_hi)
+        ]
+        if verts.size == 0:
+            return
+        budget = self.readahead_budget
+        cache = self.cache
+
+        def queue(file, page_ids: np.ndarray) -> int:
+            nonlocal budget
+            if budget <= 0 or page_ids.size == 0:
+                return 0
+            fresh = page_ids[
+                [(file.name, int(p)) not in cache for p in page_ids]
+            ][:budget]
+            if fresh.size == 0:
+                return 0
+            plan.add_readahead(file, fresh)
+            budget -= int(fresh.size)
+            return int(fresh.size)
+
+        bounds = storage.intervals.boundaries
+        cut = np.searchsorted(verts, bounds)
+        hit_verts = []
+        for i in range(storage.n_intervals):
+            s, e = cut[i], cut[i + 1]
+            if s == e:
+                continue
+            v = verts[s:e]
+            files = storage.interval_files(i)
+            local, starts, stops = storage.local_ranges(i, v)
+            queue(files.rowptr, files.rowptr.pages_for(local, local + 2)[0])
+            if edgelog is not None:
+                hit = edgelog.contains_many(v)
+                if hit.any():
+                    hit_verts.append(v[hit])
+                miss = ~hit
+                starts, stops = starts[miss], stops[miss]
+            queue(files.colidx, files.colidx.pages_for(starts, stops)[0])
+            if need_vals and files.values is not None:
+                queue(files.values, files.values.pages_for(starts, stops)[0])
+            if budget <= 0:
+                break
+        if edgelog is not None and hit_verts and budget > 0:
+            elog_file = getattr(edgelog, "_file_cur", None)
+            if elog_file is not None:
+                queue(elog_file, edgelog.pages_of(np.concatenate(hit_verts)))
+
+    # -- tallies ----------------------------------------------------------
+
+    def apply(self, outcome: Optional[PlanOutcome]) -> None:
+        """Fold one committed group's outcome into the run tallies."""
+        if outcome is None:
+            return
+        self.plans += 1
+        self.demand_pages += outcome.demand_pages
+        self.cache_hit_pages += outcome.cache_hit_pages
+        self.batches_folded += outcome.batches_folded
+        self.extents += outcome.extents
+        self.extent_pages += outcome.extent_pages
+        self.scattered_pages += outcome.scattered_pages
+        self.waves += outcome.waves
+        self.time_us += outcome.time_us
+        self.saved_us += outcome.saved_us
+        self.readahead_pages += outcome.readahead_pages
+        self.readahead_time_us += outcome.readahead_time_us
+
+    def snapshot(self) -> dict:
+        """The ``io_plan_stats`` trace payload (all fields monotonic)."""
+        return {
+            "mode": self.mode,
+            "plans": int(self.plans),
+            "demand_pages": int(self.demand_pages),
+            "cache_hit_pages": int(self.cache_hit_pages),
+            "batches_folded": int(self.batches_folded),
+            "extents": int(self.extents),
+            "extent_pages": int(self.extent_pages),
+            "scattered_pages": int(self.scattered_pages),
+            "waves": int(self.waves),
+            "time_us": round(self.time_us, 6),
+            "saved_us": round(self.saved_us, 6),
+            "readahead_pages": int(self.readahead_pages),
+            "readahead_time_us": round(self.readahead_time_us, 6),
+        }
+
+    def register_metrics(self, metrics) -> None:
+        """Register the ``io.*`` gauges over this planner's tallies."""
+        metrics.gauge("io.plans", lambda: self.plans)
+        metrics.gauge("io.demand_pages", lambda: self.demand_pages)
+        metrics.gauge("io.cache_hit_pages", lambda: self.cache_hit_pages)
+        metrics.gauge("io.batches_folded", lambda: self.batches_folded)
+        metrics.gauge("io.extents", lambda: self.extents)
+        metrics.gauge("io.extent_pages", lambda: self.extent_pages)
+        metrics.gauge("io.scattered_pages", lambda: self.scattered_pages)
+        metrics.gauge("io.waves", lambda: self.waves)
+        metrics.gauge("io.time_us", lambda: self.time_us)
+        metrics.gauge("io.saved_us", lambda: self.saved_us)
+        metrics.gauge("io.readahead_pages", lambda: self.readahead_pages)
+        metrics.gauge("io.readahead_time_us", lambda: self.readahead_time_us)

@@ -54,6 +54,9 @@ TRACE_KINDS = frozenset(
         # superstep when effective workers > 1, carrying run-cumulative
         # (monotonically non-decreasing) overlap counters
         "parallel_stats",
+        # superstep I/O planner (DESIGN.md §13): one event per superstep
+        # when ``io_plan != "off"``, carrying run-cumulative counters
+        "io_plan_stats",
         # recovery subsystem
         "checkpoint_write",
         "recovery_load",

@@ -25,6 +25,7 @@ import dataclasses
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, FrozenSet, Optional
 
+from .config import IO_PLAN_MODES
 from .errors import EngineError
 
 if TYPE_CHECKING:  # circular-import guard; only for annotations
@@ -87,6 +88,17 @@ class EngineOptions:
         executor (DESIGN.md §11).  ``None`` (default) inherits the
         config's ``num_workers``; results are bit-identical at any
         count.
+    io_plan:
+        Superstep I/O planner mode (DESIGN.md §13): ``None`` (default)
+        inherits the config's ``io_plan``; ``"off"`` forces the seed's
+        per-path batches; ``"coalesce"`` enables extent coalescing and
+        channel-balanced dispatch waves; ``"coalesce+readahead"``
+        additionally prefetches the predicted next group's pages into
+        the CLOCK page cache (no-op without a cache).  Values and
+        records are bit-identical in every mode.
+    readahead_pages:
+        Per-superstep page budget for the planner's read-ahead;
+        ``None`` inherits the config's ``readahead_pages``.
     recompute:
         Streaming-update recompute policy (DESIGN.md §12), consumed by
         :class:`~repro.stream.StreamSession` -- not by the engines
@@ -111,6 +123,8 @@ class EngineOptions:
     cache_policy: Optional[str] = None
     cache_bytes: Optional[int] = None
     num_workers: Optional[int] = None
+    io_plan: Optional[str] = None
+    readahead_pages: Optional[int] = None
     recompute: str = "auto"
 
     def replace(self, **changes) -> "EngineOptions":
@@ -176,6 +190,12 @@ class EngineOptions:
             raise EngineError("cache_bytes must be positive")
         if self.num_workers is not None and self.num_workers < 1:
             raise EngineError("num_workers must be >= 1")
+        if self.io_plan is not None and self.io_plan not in IO_PLAN_MODES:
+            raise EngineError(
+                f"io_plan must be one of {IO_PLAN_MODES}, got {self.io_plan!r}"
+            )
+        if self.readahead_pages is not None and self.readahead_pages < 0:
+            raise EngineError("readahead_pages must be non-negative")
         if self.recompute not in ("auto", "incremental", "full"):
             raise EngineError(
                 f"recompute must be 'auto', 'incremental' or 'full', got {self.recompute!r}"
@@ -186,6 +206,11 @@ class EngineOptions:
 #: apply to every out-of-core engine.  The in-memory oracle performs no
 #: simulated I/O and is excluded.
 _CACHE_OPTIONS = frozenset({"cache_policy", "cache_bytes"})
+
+#: The superstep I/O planner (DESIGN.md §13) is wired through the
+#: MultiLogVC read paths only; the comparison engines keep the seed's
+#: per-path batches.
+_IO_PLAN_OPTIONS = frozenset({"io_plan", "readahead_pages"})
 
 #: Which :class:`EngineOptions` fields each engine consumes.
 RELEVANT_OPTIONS: Dict[str, FrozenSet[str]] = {
@@ -201,7 +226,8 @@ RELEVANT_OPTIONS: Dict[str, FrozenSet[str]] = {
             "num_workers",
         }
     )
-    | _CACHE_OPTIONS,
+    | _CACHE_OPTIONS
+    | _IO_PLAN_OPTIONS,
     "graphchi": _CACHE_OPTIONS,
     # The in-memory golden oracle (repro.verify) has no tuning knobs.
     "oracle": frozenset(),
@@ -231,6 +257,11 @@ def apply_config_options(
         config = config.with_cache(policy=policy, cache_bytes=options.cache_bytes)
     if options.num_workers is not None:
         config = config.with_workers(options.num_workers)
+    if options.io_plan is not None or options.readahead_pages is not None:
+        config = config.with_io_plan(
+            options.io_plan if options.io_plan is not None else config.io_plan,
+            readahead_pages=options.readahead_pages,
+        )
     return config
 
 

@@ -40,8 +40,18 @@ from .checkpoint import CheckpointData, CheckpointManager
 #: under an armed fault plan executes serially, so it has no pre-cut
 #: overlap history at all); the committed values/records/stats it
 #: annotates reconcile exactly at any worker count (DESIGN.md §11).
+#: ``io_plan_stats`` carries the I/O planner's run-cumulative tallies
+#: (DESIGN.md §13), which likewise embed pre-cut history a resumed run
+#: never saw; the planned charges themselves reconcile exactly.
 NON_RECONCILED_KINDS = frozenset(
-    {"run_begin", "run_resume", "recovery_load", "cache_stats", "parallel_stats"}
+    {
+        "run_begin",
+        "run_resume",
+        "recovery_load",
+        "cache_stats",
+        "parallel_stats",
+        "io_plan_stats",
+    }
 )
 
 

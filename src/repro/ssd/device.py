@@ -353,6 +353,85 @@ class SimulatedSSD:
         self._charge(True, klass, int(arr.size), int(arr.size) * self._page_size, t, counts)
         return t
 
+    def read_batch_time(self, channel_ids: ChannelVector) -> float:
+        """Timing preview of :meth:`read_batch`: no charge, no fault check.
+
+        The I/O planner uses this to price what each uncoalesced read
+        path *would* have cost, so the ``io.saved_us`` tally compares
+        like with like (including any current channel degradation).
+        """
+        arr = self._coerce(channel_ids)
+        if arr.size == 0:
+            return 0.0
+        counts = np.bincount(arr, minlength=self._channels)
+        return self._batch_time_from_counts(counts, self.config.ssd.read_latency_us, read=True)
+
+    def extent_channel_counts(self, start_channel: int, n_pages: int) -> np.ndarray:
+        """Per-channel page histogram of one contiguous extent.
+
+        Contiguous file pages are interspersed across channels (§V-A3
+        placement), so an extent of ``L`` pages starting on channel
+        ``s`` puts ``L // C`` pages on every channel plus one extra on
+        channels ``s, s+1, ... (mod C)`` -- the same distribution
+        :meth:`sequential_read_time` charges, which is what makes extent
+        reads the cheap path.
+        """
+        n = int(n_pages)
+        if n < 0:
+            raise StorageError(f"extent length must be non-negative, got {n}")
+        counts = np.full(self._channels, n // self._channels, dtype=np.int64)
+        extra = (np.arange(n % self._channels, dtype=np.int64) + start_channel) % self._channels
+        counts[extra] += 1
+        return counts
+
+    def read_extent(self, start_channel: int, n_pages: int, klass: str) -> float:
+        """Charge one contiguous extent read as a single batch.
+
+        Equivalent to :meth:`read_batch` over the extent's interspersed
+        channel vector, without materialising it: the sequential path of
+        the I/O planner's coalescing stage.
+        """
+        return self.read_plan(klass, [(int(start_channel), int(n_pages))], ())
+
+    def read_plan(
+        self,
+        klass: str,
+        extents: Sequence[Tuple[int, int]],
+        scattered_channels: ChannelVector,
+    ) -> float:
+        """Plan-commit read: extents + one scattered wave, one submission.
+
+        ``extents`` is a sequence of ``(start_channel, n_pages)`` runs of
+        adjacent file pages; ``scattered_channels`` carries the remaining
+        single-page reads.  The whole set is charged as **one** batch:
+        one ``batch_overhead_us`` and the max over the *summed*
+        per-channel queues, which is exactly what merging I/O requests
+        before submission buys on the channel-parallel device.  Composes
+        with everything ``read_batch`` composes with: the deferred-charge
+        queue (plans built at speculate time commit in canonical group
+        order), fault plans (one check per submission, with the expanded
+        channel vector) and the overlap model (the histogram rides the
+        :data:`ChargeOp`).
+        """
+        scattered = self._coerce(scattered_channels)
+        counts = np.bincount(scattered, minlength=self._channels).astype(np.int64)
+        for start_channel, n_pages in extents:
+            counts += self.extent_channel_counts(int(start_channel), int(n_pages))
+        pages = int(counts.sum())
+        if pages == 0:
+            return 0.0
+        if self.fault_plan is not None:
+            expanded = [scattered]
+            for start_channel, n_pages in extents:
+                expanded.append(
+                    (np.arange(int(n_pages), dtype=np.int64) + int(start_channel))
+                    % self._channels
+                )
+            self._fault_check(True, klass, np.concatenate(expanded))
+        t = self._batch_time_from_counts(counts, self.config.ssd.read_latency_us, read=True)
+        self._charge(True, klass, pages, pages * self._page_size, t, counts)
+        return t
+
     def write_batch(self, channel_ids: ChannelVector, klass: str) -> float:
         """Charge a batch of page writes.
 

@@ -46,7 +46,7 @@ class SimFileBase:
         """Channel id for each page index of this file."""
         return (np.asarray(page_ids, dtype=np.int64) + self.channel_offset) % self.device.channels
 
-    def _charge_read(self, page_ids: np.ndarray, klass: Optional[str] = None) -> float:
+    def _charge_read(self, page_ids: np.ndarray, klass: Optional[str] = None, plan=None) -> float:
         """Charge a page-read batch, serving cache hits from DRAM.
 
         Without a cache this is exactly ``device.read_batch`` over all
@@ -54,8 +54,16 @@ class SimFileBase:
         channels are submitted -- an all-hit batch skips the device
         entirely (no batch overhead, no fault check), which is how a
         real buffer cache avoids touching the block layer.
+
+        With ``plan`` (an :class:`~repro.io.plan.IOPlan`), the demand is
+        queued for coalesced dispatch instead of charged here; the plan
+        consults the cache itself, in this same call order, so hit/miss
+        sequences match the unplanned path bit-exactly.  Returns 0.0 in
+        that case -- the wave cost is attributed from the plan's outcome.
         """
         ids = np.asarray(page_ids, dtype=np.int64)
+        if plan is not None:
+            return plan.add(self, ids, klass or self.klass)
         cache = self.cache
         if cache is not None and ids.size:
             ids = ids[cache.access(self.name, ids)]
@@ -139,19 +147,19 @@ class PageFile(SimFileBase):
 
     # -- reads -----------------------------------------------------------
 
-    def read_pages(self, page_ids: np.ndarray, charge: bool = True) -> Tuple[List[Any], float]:
+    def read_pages(self, page_ids: np.ndarray, charge: bool = True, plan=None) -> Tuple[List[Any], float]:
         """Read specific pages; returns ``(payloads, simulated_read_us)``."""
         ids = np.asarray(page_ids, dtype=np.int64)
         if ids.size and (ids.min() < 0 or ids.max() >= len(self._payloads)):
             raise StorageError(f"page id out of range for file {self.name!r}")
         payloads = [self._payloads[i] for i in ids]
-        t = self._charge_read(ids) if charge else 0.0
+        t = self._charge_read(ids, plan=plan) if charge else 0.0
         return payloads, t
 
-    def read_all(self, charge: bool = True) -> Tuple[List[Any], float]:
+    def read_all(self, charge: bool = True, plan=None) -> Tuple[List[Any], float]:
         """Read the whole file as one interspersed batch."""
         ids = np.arange(len(self._payloads), dtype=np.int64)
-        t = self._charge_read(ids) if charge else 0.0
+        t = self._charge_read(ids, plan=plan) if charge else 0.0
         return list(self._payloads), t
 
     # -- management --------------------------------------------------------
@@ -303,13 +311,13 @@ class ArrayFile(SimFileBase):
         """Pages (and useful bytes) touched by the given entry ranges."""
         return pages_for_ranges(starts, stops, self.entries_per_page, self.entry_bytes)
 
-    def read_ranges(self, starts: np.ndarray, stops: np.ndarray, klass: Optional[str] = None) -> Tuple[float, np.ndarray, np.ndarray]:
+    def read_ranges(self, starts: np.ndarray, stops: np.ndarray, klass: Optional[str] = None, plan=None) -> Tuple[float, np.ndarray, np.ndarray]:
         """Charge reads for entry ranges.
 
         Returns ``(simulated_us, page_ids, useful_bytes_per_page)``.
         """
         pages, useful = self.pages_for(starts, stops)
-        t = self._charge_read(pages, klass)
+        t = self._charge_read(pages, klass, plan=plan)
         return t, pages, useful
 
     def write_ranges(self, starts: np.ndarray, stops: np.ndarray, klass: Optional[str] = None) -> Tuple[float, np.ndarray]:
@@ -319,10 +327,10 @@ class ArrayFile(SimFileBase):
         self._admit_written(pages)
         return t, pages
 
-    def read_all(self, klass: Optional[str] = None) -> float:
+    def read_all(self, klass: Optional[str] = None, plan=None) -> float:
         """Charge a sequential read of the whole file."""
         ids = np.arange(self.n_pages, dtype=np.int64)
-        return self._charge_read(ids, klass)
+        return self._charge_read(ids, klass, plan=plan)
 
     def write_all(self, klass: Optional[str] = None) -> float:
         """Charge a sequential write of the whole file."""

@@ -459,6 +459,26 @@ class StreamStore:
             np.concatenate(w) if self.weighted else None,
         )
 
+    def _new_plan(self):
+        """One I/O plan per read sweep when the planner is enabled.
+
+        The store's sweeps (cone row reads, the warm-start seed scan)
+        are the streaming analog of an engine group load: each is
+        charged as one coalesced submission (DESIGN.md §13) when
+        ``config.io_plan != "off"``, and per file otherwise.
+        """
+        if self.config.io_plan == "off":
+            return None
+        from ..io.plan import IOPlan
+
+        return IOPlan(self.fs.device)
+
+    @staticmethod
+    def _execute_plan(plan) -> float:
+        if plan is None:
+            return 0.0
+        return plan.execute().time_us
+
     def charge_rows(self, vertices: np.ndarray) -> float:
         """Charge reads for the adjacency rows of ``vertices``.
 
@@ -469,20 +489,25 @@ class StreamStore:
         vertices = np.unique(np.asarray(vertices, dtype=np.int64))
         if vertices.size == 0:
             return 0.0
+        plan = self._new_plan()
         io_us = 0.0
         iv = self.intervals.interval_of(vertices)
         for i in np.unique(iv):
             vs = vertices[iv == i]
             lo, _ = self.intervals.span(i)
             rowptr = self._rowptr_files[i].array
-            t, _, _ = self._col_files[i].read_ranges(rowptr[vs - lo], rowptr[vs - lo + 1])
+            t, _, _ = self._col_files[i].read_ranges(
+                rowptr[vs - lo], rowptr[vs - lo + 1], plan=plan
+            )
             io_us += t
             if self.weighted:
-                t, _, _ = self._val_files[i].read_ranges(rowptr[vs - lo], rowptr[vs - lo + 1])
+                t, _, _ = self._val_files[i].read_ranges(
+                    rowptr[vs - lo], rowptr[vs - lo + 1], plan=plan
+                )
                 io_us += t
-            _, t = self._delta_files[i].read_all()
+            _, t = self._delta_files[i].read_all(plan=plan)
             io_us += t
-        return io_us
+        return io_us + self._execute_plan(plan)
 
     def charge_seed_scan(self) -> float:
         """Charge one sequential sweep of every interval's edges.
@@ -492,14 +517,15 @@ class StreamStore:
         the reset cone requires scanning edge storage once (the store
         keeps no reverse index).
         """
+        plan = self._new_plan()
         io_us = 0.0
         for i in range(self.intervals.n_intervals):
-            io_us += self._col_files[i].read_all()
+            io_us += self._col_files[i].read_all(plan=plan)
             if self.weighted:
-                io_us += self._val_files[i].read_all()
-            _, t = self._delta_files[i].read_all()
+                io_us += self._val_files[i].read_all(plan=plan)
+            _, t = self._delta_files[i].read_all(plan=plan)
             io_us += t
-        return io_us
+        return io_us + self._execute_plan(plan)
 
     # -- recovery ---------------------------------------------------------
 

@@ -245,6 +245,8 @@ def build_config(cdict: Dict[str, Any]) -> SimConfig:
         num_workers=int(cdict.get("num_workers", 1)),
         cache_policy=str(cdict.get("cache_policy", "none")),
         cache_bytes=None if cache_bytes is None else int(cache_bytes),
+        io_plan=str(cdict.get("io_plan", "off")),
+        readahead_pages=int(cdict.get("readahead_pages", 64)),
     )
 
 
@@ -450,6 +452,15 @@ def _config_dict(rng: np.random.Generator) -> Dict[str, Any]:
     if int(rng.integers(0, 3)) == 0:
         cdict["cache_policy"] = "clock"
         cdict["cache_bytes"] = page * int(rng.integers(1, 33))
+    # I/O planner dimension (DESIGN.md §13): a third of cases plan their
+    # superstep reads (extent coalescing + dispatch waves); values and
+    # records must be bit-identical to the unplanned charge order.
+    # Read-ahead degrades to plain coalescing when the cache dimension
+    # did not fire (the planner needs a cache to prefetch into), which
+    # is itself a documented behaviour worth fuzzing.
+    if int(rng.integers(0, 3)) == 0:
+        cdict["io_plan"] = str(rng.choice(["coalesce", "coalesce+readahead"]))
+        cdict["readahead_pages"] = int(rng.integers(1, 65))
     return cdict
 
 

@@ -93,3 +93,43 @@ class TestPreprocessing:
 
         with pytest.raises(ValueError):
             ext_preprocessing.preprocessing_cost("nope", cf_like("test"))
+
+
+class TestComputeIOPlanKnobs:
+    def test_help_lists_io_plan_choices(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["compute", "--help"])
+        assert exc.value.code == 0
+        out = capsys.readouterr().out
+        for token in ("--io-plan", "coalesce+readahead", "--readahead-pages"):
+            assert token in out
+
+    def test_bad_mode_rejected_by_parser(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["compute", "pagerank", "--io-plan", "sideways"])
+        assert exc.value.code == 2
+        assert "invalid choice" in capsys.readouterr().err
+
+    def test_readahead_requires_cache(self, capsys):
+        rc = main(["compute", "pagerank", "--dataset", "chain",
+                   "--io-plan", "coalesce+readahead"])
+        assert rc == 2
+        assert "requires a page cache" in capsys.readouterr().err
+
+    def test_readahead_pages_requires_readahead_mode(self, capsys):
+        rc = main(["compute", "pagerank", "--dataset", "chain",
+                   "--io-plan", "coalesce", "--readahead-pages", "8"])
+        assert rc == 2
+        assert "--io-plan coalesce+readahead" in capsys.readouterr().err
+
+    def test_coalesce_runs_without_cache(self, capsys):
+        rc = main(["compute", "pagerank", "--dataset", "chain",
+                   "--io-plan", "coalesce", "--max-supersteps", "4"])
+        assert rc == 0
+
+    def test_readahead_runs_with_cache(self, capsys):
+        rc = main(["compute", "pagerank", "--dataset", "chain",
+                   "--cache-policy", "clock",
+                   "--io-plan", "coalesce+readahead", "--readahead-pages", "8",
+                   "--max-supersteps", "4"])
+        assert rc == 0

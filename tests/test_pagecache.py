@@ -220,14 +220,27 @@ class TestEngineEquivalence:
         assert on.metrics["cache.hit_rate"] > 0.0
 
     def test_tiny_cache_under_churn_still_identical(self, cfg):
-        """One-page cache: maximal eviction pressure, same semantics."""
+        """One-page cache: maximal eviction pressure, same semantics.
+
+        ``io_plan`` is pinned off so a ``REPRO_IO_PLAN`` matrix leg
+        cannot add speculative read-ahead pages to the comparison --
+        this test isolates the cache dimension.
+        """
         g = cf_like(scale="test")
-        off = repro.run(g, DeltaPageRankProgram(), config=cfg, max_supersteps=6)
+        off = repro.run(
+            g,
+            DeltaPageRankProgram(),
+            config=cfg,
+            options=EngineOptions(io_plan="off"),
+            max_supersteps=6,
+        )
         on = repro.run(
             g,
             DeltaPageRankProgram(),
             config=cfg,
-            options=EngineOptions(cache_policy="clock", cache_bytes=cfg.ssd.page_size),
+            options=EngineOptions(
+                cache_policy="clock", cache_bytes=cfg.ssd.page_size, io_plan="off"
+            ),
             max_supersteps=6,
         )
         assert np.array_equal(off.values, on.values)

@@ -250,6 +250,8 @@ NON_DEFAULT_SAMPLES = {
     "cache_policy": "clock",
     "cache_bytes": 64 * 1024,
     "num_workers": 2,
+    "io_plan": "coalesce",
+    "readahead_pages": 16,
     "recompute": "full",
 }
 

@@ -166,6 +166,69 @@ def measure_cache(scale: str, steps_scale: float):
     return out
 
 
+def measure_io_plan(scale: str, steps_scale: float):
+    """Simulated-I/O comparison: per-path batches vs the superstep I/O planner.
+
+    Runs each workload with ``min_intervals=8`` so supersteps carry
+    fused multi-interval groups -- the shape where the seed engine pays
+    one device batch per interval per storage class, which is exactly
+    the demand the planner folds into extents and channel-balanced
+    waves (DESIGN.md §13).  Planned runs read the same pages (checked)
+    and produce bit-identical values (checked); only batching and
+    simulated storage time change.  All numbers are deterministic
+    simulation output, so they are machine-independent.
+    Returns None on any value or page-count divergence.
+    """
+    cfg = DEFAULT_CONFIG
+    opts_off = EngineOptions(min_intervals=8)
+    opts_on = EngineOptions(min_intervals=8, io_plan="coalesce")
+    out = {}
+    for name, graph, factory, steps in build_workloads(scale, steps_scale):
+        off = MultiLogVC(graph, factory(), cfg, options=opts_off).run(steps, seed=0)
+        reg = MetricsRegistry()
+        on = MultiLogVC(graph, factory(), cfg, options=opts_on, metrics=reg).run(
+            steps, seed=0
+        )
+        same = np.array_equal(
+            np.nan_to_num(off.values, posinf=-1),
+            np.nan_to_num(on.values, posinf=-1),
+        )
+        if not same:
+            print(f"ERROR: {name}: planned values differ from unplanned", file=sys.stderr)
+            return None
+        if int(on.stats.pages_read) != int(off.stats.pages_read):
+            print(
+                f"ERROR: {name}: planner changed charged read pages "
+                f"({off.stats.pages_read} -> {on.stats.pages_read})",
+                file=sys.stderr,
+            )
+            return None
+        io_off = off.stats.total_time_us
+        io_on = on.stats.total_time_us
+        reduction = (io_off - io_on) / io_off if io_off > 0 else 0.0
+        snap = reg.snapshot()
+        row = {
+            "io_time_off_us": round(io_off, 1),
+            "io_time_on_us": round(io_on, 1),
+            "io_reduction": round(reduction, 4),
+            "read_time_off_us": round(off.stats.read_time_us, 1),
+            "read_time_on_us": round(on.stats.read_time_us, 1),
+            "read_pages": int(off.stats.pages_read),
+            "batches_folded": int(snap.get("io.batches_folded", 0)),
+            "waves": int(snap.get("io.waves", 0)),
+            "extent_pages": int(snap.get("io.extent_pages", 0)),
+            "saved_us": round(float(snap.get("io.saved_us", 0.0)), 1),
+            "values_identical": True,
+        }
+        out[name] = row
+        print(
+            f"{name:10s} io_off={io_off:10.0f}us  io_on={io_on:10.0f}us"
+            f"  saved={100 * reduction:5.1f}%"
+            f"  batches {row['batches_folded']}->{row['waves']} waves"
+        )
+    return out
+
+
 def measure_parallel(scale: str, steps_scale: float, workers: int):
     """Simulated-latency comparison: serial vs the parallel interval executor.
 
@@ -348,6 +411,31 @@ def check_regression(baseline_path: str, threshold: float, repeats: int) -> int:
                 )
             if got["hit_rate"] <= 0.0:
                 failed.append(f"{name}: cache hit rate is zero")
+    io_plan_ref = committed.get("smoke", {}).get("io_plan")
+    if io_plan_ref:
+        io_now = measure_io_plan("test", 0.4)
+        if io_now is None:
+            return 1
+        for name, ref in io_plan_ref.items():
+            got = io_now.get(name)
+            if got is None:
+                failed.append(f"{name}: kernel missing from io-plan benchmark")
+                continue
+            floor = threshold * ref["io_reduction"]
+            ok = got["io_reduction"] >= floor and got["saved_us"] > 0.0
+            print(
+                f"{name:10s} io-plan: committed saved={ref['io_reduction']:.1%}  "
+                f"measured={got['io_reduction']:.1%}  floor={floor:.1%}  "
+                f"{'ok' if ok else 'REGRESSED'}"
+            )
+            if got["io_reduction"] < floor:
+                failed.append(
+                    f"{name}: io-plan reduction {got['io_reduction']:.1%} fell "
+                    f"below {floor:.1%} ({threshold:.0%} of committed "
+                    f"{ref['io_reduction']:.1%})"
+                )
+            if got["saved_us"] <= 0.0:
+                failed.append(f"{name}: io planner saved no simulated time")
     parallel_ref = committed.get("smoke", {}).get("parallel")
     if parallel_ref:
         workers = max(r["workers"] for r in parallel_ref.values())
@@ -408,12 +496,13 @@ def check_regression(baseline_path: str, threshold: float, repeats: int) -> int:
             print(f"ERROR: {msg}", file=sys.stderr)
         return 1
     n_cache = len(cache_ref) if cache_ref else 0
+    n_io = len(io_plan_ref) if io_plan_ref else 0
     n_par = len(parallel_ref) if parallel_ref else 0
     n_stream = len(stream_ref) if stream_ref else 0
     print(
         f"benchmark gate OK ({len(reference)} kernels within {threshold:.0%} of "
-        f"reference; {n_cache} cache, {n_par} parallel and {n_stream} stream "
-        f"reference(s) validated)"
+        f"reference; {n_cache} cache, {n_io} io-plan, {n_par} parallel and "
+        f"{n_stream} stream reference(s) validated)"
     )
     return 0
 
@@ -444,6 +533,12 @@ def main() -> int:
              "(deterministic; lands in the report's 'cache' section)",
     )
     ap.add_argument(
+        "--io-plan", action="store_true",
+        help="also compare simulated I/O with the superstep I/O planner on vs "
+             "off over fused multi-interval groups (deterministic; lands in "
+             "the report's 'io_plan' section)",
+    )
+    ap.add_argument(
         "--workers", type=int, default=None, metavar="N",
         help="also compare simulated latency serial vs the parallel interval "
              "executor at N workers (deterministic; lands in the report's "
@@ -471,6 +566,12 @@ def main() -> int:
         print("-- page cache on vs off (simulated I/O) --")
         cache = measure_cache(scale, steps_scale)
         if cache is None:
+            return 1
+    io_plan = None
+    if args.io_plan:
+        print("-- superstep I/O planner on vs off (simulated I/O) --")
+        io_plan = measure_io_plan(scale, steps_scale)
+        if io_plan is None:
             return 1
     parallel = None
     if args.workers:
@@ -508,6 +609,9 @@ def main() -> int:
             "cache_policy": "clock",
             "cache_bytes": cfg.with_cache().resolved_cache_bytes,
         }
+    if io_plan is not None:
+        section["io_plan"] = io_plan
+        section["io_plan_config"] = {"io_plan": "coalesce", "min_intervals": 8}
     if parallel is not None:
         section["parallel"] = parallel
     if stream is not None:

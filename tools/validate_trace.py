@@ -25,7 +25,12 @@ Checks, in order:
    within a run segment -- the update-log batch counter is monotone for
    the store's lifetime, so a drop means the commit log was corrupted;
 7. ``compaction`` events carry non-negative integer ``interval``/
-   ``live``/``dropped``/``pages_read``/``pages_written``.
+   ``live``/``dropped``/``pages_read``/``pages_written``;
+8. ``io_plan_stats`` events carry a valid ``mode`` and run-cumulative
+   counters (plans/pages/extents/waves/times) that never decrease
+   within a run segment -- the superstep I/O planner's tallies are
+   monotone for the run's lifetime, so a drop means planner state was
+   silently reset.
 
 Any violation prints the offending line number and exits non-zero.
 
@@ -59,6 +64,25 @@ INGEST_PHASES = ("ingest", "apply")
 #: ``compaction`` fields that must be non-negative integers.
 COMPACTION_FIELDS = ("interval", "live", "dropped", "pages_read", "pages_written")
 
+#: ``io_plan_stats`` fields that must be non-decreasing within a segment.
+IO_PLAN_COUNTERS = (
+    "plans",
+    "demand_pages",
+    "cache_hit_pages",
+    "batches_folded",
+    "extents",
+    "extent_pages",
+    "scattered_pages",
+    "waves",
+    "time_us",
+    "saved_us",
+    "readahead_pages",
+    "readahead_time_us",
+)
+
+#: ``io_plan_stats`` modes the planner emits (it is never built "off").
+IO_PLAN_MODES = ("coalesce", "coalesce+readahead")
+
 
 def validate_file(path: Path) -> list:
     """Return a list of violation strings for one trace file."""
@@ -66,6 +90,7 @@ def validate_file(path: Path) -> list:
     last_t = None
     last_cache = None
     last_parallel = None
+    last_io_plan = None
     last_seq = None
     segment_start = 0
     n_events = 0
@@ -106,6 +131,7 @@ def validate_file(path: Path) -> list:
             last_t = None
             last_cache = None
             last_parallel = None
+            last_io_plan = None
             last_seq = None
             segment_start = lineno
             n_segments += 1
@@ -147,6 +173,27 @@ def validate_file(path: Path) -> list:
                         f"line {segment_start}"
                     )
             last_parallel = ev
+        if kind == "io_plan_stats":
+            if ev.get("mode") not in IO_PLAN_MODES:
+                errors.append(
+                    f"{path}:{lineno}: io_plan_stats mode must be one of "
+                    f"{IO_PLAN_MODES}, got {ev.get('mode')!r}"
+                )
+            for field in IO_PLAN_COUNTERS:
+                cur = ev.get(field)
+                if not isinstance(cur, (int, float)) or isinstance(cur, bool):
+                    errors.append(
+                        f"{path}:{lineno}: io_plan_stats missing/non-numeric {field!r}"
+                    )
+                    continue
+                prev = (last_io_plan or {}).get(field)
+                if prev is not None and cur < prev:
+                    errors.append(
+                        f"{path}:{lineno}: io_plan counter {field!r} decreased "
+                        f"({cur} < {prev}) within the run segment starting at "
+                        f"line {segment_start}"
+                    )
+            last_io_plan = ev
         if kind == "ingest_stats":
             if ev.get("phase") not in INGEST_PHASES:
                 errors.append(
