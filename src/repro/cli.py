@@ -272,6 +272,19 @@ def cmd_compute(args) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.devices is not None and args.devices < 1:
+        print("--devices must be >= 1", file=sys.stderr)
+        return 2
+    if (args.devices is not None or args.placement is not None) and (
+        "num_devices" not in caps.options
+    ):
+        capable = sorted(n for n, i in all_engines.items() if "num_devices" in i.options)
+        print(
+            f"engine {args.engine!r} performs no simulated I/O, so --devices/"
+            f"--placement do not apply (supported by: {', '.join(capable)})",
+            file=sys.stderr,
+        )
+        return 2
 
     weighted = args.weighted or args.algorithm in _NEEDS_WEIGHTS
     graph = _compute_dataset(args.dataset, args.scale, weighted)
@@ -284,6 +297,8 @@ def cmd_compute(args) -> int:
         cfg = cfg.with_workers(args.workers)
     if args.io_plan != "off":
         cfg = cfg.with_io_plan(args.io_plan, readahead_pages=args.readahead_pages)
+    if args.devices is not None or args.placement is not None:
+        cfg = cfg.with_devices(args.devices, args.placement)
     opt_kwargs = {}
     if caps.supports_checkpoint:
         opt_kwargs = dict(
@@ -672,6 +687,13 @@ def build_parser() -> argparse.ArgumentParser:
     comp.add_argument("--workers", type=int, default=None, metavar="N",
                       help="worker threads for the deterministic parallel interval "
                            "executor (multilogvc; results are identical at any N)")
+    comp.add_argument("--devices", type=int, default=None, metavar="N",
+                      help="simulated SSD device-array size (DESIGN.md §14; "
+                           "results are identical at any N, only the device.* "
+                           "overlay accounting changes; default: REPRO_DEVICES or 1)")
+    comp.add_argument("--placement", choices=("stripe", "affinity"), default=None,
+                      help="device-array placement policy (default: affinity; "
+                           "only meaningful with --devices > 1)")
     comp.add_argument("--weighted", action="store_true",
                       help="use edge weights (implied by sssp)")
     comp.add_argument("--source", type=int, default=0, help="bfs/sssp source vertex")

@@ -49,6 +49,27 @@ def _default_num_workers() -> int:
 #: Valid values for :attr:`SimConfig.io_plan`, in increasing ambition.
 IO_PLAN_MODES = ("off", "coalesce", "coalesce+readahead")
 
+#: Valid values for :attr:`SimConfig.placement` (DESIGN.md §14).
+#: ``"stripe"`` round-robins extent-sized page runs over the device
+#: array; ``"affinity"`` additionally pins interval logs (multi-log,
+#: stream logs) whole onto one device each so a log stays sequential.
+PLACEMENTS = ("stripe", "affinity")
+
+
+def _default_num_devices() -> int:
+    """Default simulated-SSD count for the device array.
+
+    Reads ``REPRO_DEVICES`` so the CI matrix can run the whole test
+    suite against a 4-device array without touching any call site;
+    values, records and semantic traces are bit-identical at any device
+    count (DESIGN.md §14), so like ``REPRO_NUM_WORKERS`` this is a
+    coverage knob, not a tuning knob.
+    """
+    try:
+        return max(1, int(os.environ.get("REPRO_DEVICES", "1")))
+    except ValueError:
+        return 1
+
 
 def _default_io_plan() -> str:
     """Default superstep I/O planner mode.
@@ -312,6 +333,19 @@ class SimConfig:
     #: Page budget per superstep for the planner's cache-aware
     #: read-ahead (``io_plan="coalesce+readahead"`` only).
     readahead_pages: int = 64
+    #: Number of independent simulated SSDs in the device array
+    #: (DESIGN.md §14).  ``1`` (the default) reproduces the seed's
+    #: single-device behaviour exactly; ``N > 1`` stripes pages across
+    #: ``N`` devices and reports the cross-device concurrency win as an
+    #: overlay (``device.*`` gauges, ``device_stats`` trace kind) while
+    #: the committed accounting -- and therefore values, records and
+    #: semantic traces -- stays bit-identical at any device count.  The
+    #: default honours the ``REPRO_DEVICES`` environment variable (CI
+    #: matrix knob).
+    num_devices: int = field(default_factory=_default_num_devices)
+    #: Device-array placement policy (see :data:`PLACEMENTS`); ignored
+    #: while ``num_devices == 1``.
+    placement: str = "affinity"
     #: Streaming update store (DESIGN.md §12): an interval is compacted
     #: -- its surviving edges rewritten as a fresh base CSR and its
     #: delta log truncated -- when dead + tombstone records exceed this
@@ -353,6 +387,12 @@ class SimConfig:
             )
         if self.readahead_pages < 0:
             raise ConfigError("readahead_pages must be non-negative")
+        if self.num_devices < 1:
+            raise ConfigError(f"num_devices must be >= 1, got {self.num_devices}")
+        if self.placement not in PLACEMENTS:
+            raise ConfigError(
+                f"placement must be one of {PLACEMENTS}, got {self.placement!r}"
+            )
         if self.memory.multilog_bytes < self.ssd.page_size:
             raise ConfigError(
                 "multi-log buffer smaller than one SSD page: raise total_bytes or multilog_fraction"
@@ -400,6 +440,15 @@ class SimConfig:
         kwargs = {"io_plan": mode}
         if readahead_pages is not None:
             kwargs["readahead_pages"] = readahead_pages
+        return dataclasses.replace(self, **kwargs)
+
+    def with_devices(self, num_devices: Optional[int] = None, placement: Optional[str] = None) -> "SimConfig":
+        """Return a copy with the simulated device array configured."""
+        kwargs = {}
+        if num_devices is not None:
+            kwargs["num_devices"] = num_devices
+        if placement is not None:
+            kwargs["placement"] = placement
         return dataclasses.replace(self, **kwargs)
 
     def with_cache(self, policy: str = "clock", cache_bytes: Optional[int] = None) -> "SimConfig":

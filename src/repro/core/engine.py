@@ -194,6 +194,9 @@ class MultiLogVC:
         reg = self.metrics_registry if self.metrics_registry is not None else NULL_METRICS
         if self.fs.cache is not None:
             self.fs.cache.register_metrics(reg)
+        if self.fs.device.num_devices > 1:
+            # Device-array overlay gauges (DESIGN.md §14).
+            self.fs.device.register_metrics(reg)
         trace_start = len(tracer.events)
         # Fault events (injected errors, retries, degradation) are
         # emitted by the device itself; give it this run's tracer.
@@ -389,6 +392,9 @@ class MultiLogVC:
         values = np.asarray(ckpt.values, dtype=np.float64).copy()
         self.fs.next_channel_offset = ckpt.fs_next_offset
         self.fs.device.stats = ckpt.stats.snapshot()
+        # Device-array overlay clocks continue from the cut (no-op on a
+        # single device or for checkpoints written without an array).
+        self.fs.device.restore_overlay(ckpt.device_state)
         meter.time_us = float(ckpt.meter_time_us)
         rng.bit_generator.state = ckpt.rng_state
         # Fresh program instances never saw initial(); let stateful
@@ -722,6 +728,8 @@ class MultiLogVC:
                     tracer.emit("parallel_stats", **overlap.snapshot())
                 if planner is not None:
                     tracer.emit("io_plan_stats", **planner.snapshot())
+                if self.fs.device.num_devices > 1:
+                    tracer.emit("device_stats", **self.fs.device.device_snapshot())
             if self.progress is not None:
                 self.progress(rec)
             tracker.advance()

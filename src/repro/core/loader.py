@@ -14,6 +14,12 @@ figures need: per-page useful-byte counts (Fig. 3 utilization), the
 per-vertex "was my page inefficiently used" flag that drives the
 edge-log decision, and the hypothetical no-edge-log page set used to
 score prediction accuracy (Fig. 9).
+
+Device arrays (DESIGN.md §14) need no loader changes: every read goes
+through :meth:`repro.ssd.file.SimFileBase._charge_read`, which attaches
+each page's device id (``devices_of``) to the charge, so the overlay's
+per-device clocks see the loader's traffic without the loader knowing
+the array exists.
 """
 
 from __future__ import annotations

@@ -229,7 +229,12 @@ class MultiLogUnit:
     def _file(self, i: int) -> PageFile:
         f = self._files[i]
         if f is None:
-            f = self.fs.create_page_file(f"{self.name}.i{i}", KLASS_MLOG, overwrite=True)
+            # Interval-affinity hint: under a device array's "affinity"
+            # placement each interval's log lands whole on one device
+            # (DESIGN.md §14); inert on a single device.
+            f = self.fs.create_page_file(
+                f"{self.name}.i{i}", KLASS_MLOG, overwrite=True, affinity=i
+            )
             self._files[i] = f
         return f
 
@@ -243,6 +248,7 @@ class MultiLogUnit:
         """
         target_used = self._capacity - self._high_free
         batch_channels = []
+        batch_devices = []
         # Pass 1: sealed (full) pages, most-backed-up intervals first.
         order = sorted(
             range(self.n_intervals),
@@ -260,6 +266,7 @@ class MultiLogUnit:
             useful = [len(p[0]) * self.config.records.update_bytes for p in pages]
             ids, _ = self._file(i).append_pages(pages, useful_bytes=useful, charge=False)
             batch_channels.append(self._file(i).channels_of(ids))
+            batch_devices.append(self._file(i).devices_of(ids))
             self._pages_used -= len(pages)
         # Pass 2: force-seal the largest partial top pages (rare; only
         # when sealed pages alone cannot restore the watermark).
@@ -280,10 +287,16 @@ class MultiLogUnit:
                 useful = [len(p[0]) * self.config.records.update_bytes for p in pages]
                 ids, _ = self._file(i).append_pages(pages, useful_bytes=useful, charge=False)
                 batch_channels.append(self._file(i).channels_of(ids))
+                batch_devices.append(self._file(i).devices_of(ids))
                 self._pages_used -= len(pages)
         if batch_channels:
             channels = np.concatenate(batch_channels)
-            t = self.fs.device.write_batch(channels, KLASS_MLOG)
+            # devices_of is None for every file on a single device, a
+            # full per-page vector on an array -- never mixed.
+            devices = None
+            if batch_devices[0] is not None:
+                devices = np.concatenate(batch_devices)
+            t = self.fs.device.write_batch(channels, KLASS_MLOG, devices=devices)
             self.io_time_us += t
             self.flushes += 1
             self.flushed_pages += int(channels.shape[0])
@@ -413,7 +426,7 @@ class MultiLogUnit:
                 self._files[i] = None
                 continue
             f = self.fs.adopt_page_file(
-                f"{self.name}.i{i}", KLASS_MLOG, fstate["channel_offset"]
+                f"{self.name}.i{i}", KLASS_MLOG, fstate["channel_offset"], affinity=i
             )
             f._payloads = [tuple(np.array(c, copy=True) for c in p) for p in fstate["payloads"]]
             f._useful = list(fstate["useful"])

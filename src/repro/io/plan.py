@@ -71,6 +71,23 @@ def split_runs(page_ids: np.ndarray) -> List[Tuple[int, int]]:
     return [(int(ids[a]), int(b - a)) for a, b in zip(starts, stops)]
 
 
+def balance_order(channels: np.ndarray) -> np.ndarray:
+    """The permutation :func:`balance_channels` applies.
+
+    Returned as indices into the input so a device-array plan can
+    reorder its per-page device vector identically to the channel
+    vector (the two must stay aligned through wave slicing).
+    """
+    ch = np.asarray(channels, dtype=np.int64)
+    if ch.size <= 1:
+        return np.arange(ch.size, dtype=np.int64)
+    order = np.argsort(ch, kind="stable")
+    sorted_ch = ch[order]
+    first = np.searchsorted(sorted_ch, sorted_ch)  # each channel's first page
+    rank = np.arange(ch.size, dtype=np.int64) - first
+    return order[np.lexsort((sorted_ch, rank))]
+
+
 def balance_channels(channels: np.ndarray) -> np.ndarray:
     """Reorder a channel vector round-robin across channels.
 
@@ -81,12 +98,7 @@ def balance_channels(channels: np.ndarray) -> np.ndarray:
     within one of the best achievable for the given channel multiset.
     """
     ch = np.asarray(channels, dtype=np.int64)
-    if ch.size <= 1:
-        return ch
-    ch = ch[np.argsort(ch, kind="stable")]
-    first = np.searchsorted(ch, ch)  # index of each channel's first page
-    rank = np.arange(ch.size, dtype=np.int64) - first
-    return ch[np.lexsort((ch, rank))]
+    return ch[balance_order(ch)]
 
 
 @dataclass
@@ -133,8 +145,10 @@ class IOPlan:
 
     def __init__(self, device) -> None:
         self.device = device
-        # One entry per read path: (klass, channel_offset, miss page ids).
-        self._demand: List[Tuple[str, int, np.ndarray]] = []
+        # One entry per read path:
+        # (klass, channel_offset, miss page ids, per-page devices).
+        # The device vector is None on a single device (DESIGN.md §14).
+        self._demand: List[Tuple[str, int, np.ndarray, Optional[np.ndarray]]] = []
         # Read-ahead queue: (file, page ids) admitted+pinned post-charge.
         self._readahead: List[Tuple[Any, np.ndarray]] = []
         self._executed = False
@@ -166,7 +180,9 @@ class IOPlan:
             self._cache_hit_pages += int(ids.size - np.count_nonzero(miss))
             ids = ids[miss]
         if ids.size:
-            self._demand.append((klass or file.klass, int(file.channel_offset), ids))
+            self._demand.append(
+                (klass or file.klass, int(file.channel_offset), ids, file.devices_of(ids))
+            )
         return 0.0
 
     def add_readahead(self, file, page_ids: np.ndarray) -> None:
@@ -183,46 +199,78 @@ class IOPlan:
     # -- execution --------------------------------------------------------
 
     def _dispatch(
-        self, demand: List[Tuple[str, int, np.ndarray]], outcome: PlanOutcome
+        self,
+        demand: List[Tuple[str, int, np.ndarray, Optional[np.ndarray]]],
+        outcome: PlanOutcome,
     ) -> Dict[str, float]:
-        """Charge one klass-ordered wave set for ``demand``; returns times."""
+        """Charge one klass-ordered wave set for ``demand``; returns times.
+
+        Per-page device vectors (device-array runs) stay aligned with
+        the channel vectors through run splitting, the round-robin
+        balance permutation and wave slicing, so each wave's per-device
+        overlay times -- and a device-scoped fault plan's view -- see
+        exactly the pages that wave carries.
+        """
         device = self.device
-        by_klass: Dict[str, Tuple[List[Tuple[int, int]], List[np.ndarray]]] = {}
-        for klass, offset, ids in demand:
-            extents, scattered = by_klass.setdefault(klass, ([], []))
+        by_klass: Dict[str, Tuple[List[Tuple[int, int]], List, List[np.ndarray], List]] = {}
+        for klass, offset, ids, devs in demand:
+            extents, extent_devs, scattered, scattered_devs = by_klass.setdefault(
+                klass, ([], [], [], [])
+            )
             outcome.batches_folded += 1
             outcome.baseline_time_us += device.read_batch_time(
                 (ids + offset) % device.channels
             )
+            if ids.size:
+                breaks = np.flatnonzero(np.diff(ids) != 1)
+                starts = np.concatenate(([0], breaks + 1))
+                stops = np.concatenate((breaks + 1, [ids.size]))
+            else:
+                starts = stops = np.empty(0, dtype=np.int64)
             singles = []
-            for first, length in split_runs(ids):
+            for a, b in zip(starts, stops):
+                length = int(b - a)
                 if length >= MIN_EXTENT_PAGES:
-                    extents.append(((first + offset) % device.channels, length))
+                    extents.append((int((ids[a] + offset) % device.channels), length))
+                    extent_devs.append(None if devs is None else devs[a:b])
                     outcome.extents += 1
                     outcome.extent_pages += length
                 else:
-                    singles.append(first)
+                    singles.append(int(a))
             if singles:
-                scattered.append(
-                    (np.asarray(singles, dtype=np.int64) + offset) % device.channels
-                )
+                sel = np.asarray(singles, dtype=np.int64)
+                scattered.append((ids[sel] + offset) % device.channels)
+                scattered_devs.append(None if devs is None else devs[sel])
         times: Dict[str, float] = {}
         wave_cap = device.channels * WAVE_QUEUE_DEPTH
         for klass in sorted(by_klass):
-            extents, scattered = by_klass[klass]
-            ch = (
-                balance_channels(np.concatenate(scattered))
-                if scattered
-                else np.empty(0, dtype=np.int64)
-            )
+            extents, extent_devs, scattered, scattered_devs = by_klass[klass]
+            dv = None
+            if scattered:
+                ch = np.concatenate(scattered)
+                perm = balance_order(ch)
+                ch = ch[perm]
+                if any(d is not None for d in scattered_devs):
+                    dv = np.concatenate(scattered_devs)[perm]
+            else:
+                ch = np.empty(0, dtype=np.int64)
             outcome.scattered_pages += int(ch.size)
+            if not any(d is not None for d in extent_devs):
+                extent_devs = None
             t = 0.0
             # First wave carries every extent plus the head of the
             # scattered queue; overflow drains in further bounded waves.
-            t += device.read_plan(klass, extents, ch[:wave_cap])
+            t += device.read_plan(
+                klass, extents, ch[:wave_cap],
+                extent_devices=extent_devs,
+                scattered_devices=None if dv is None else dv[:wave_cap],
+            )
             outcome.waves += 1
             for at in range(wave_cap, ch.size, wave_cap):
-                t += device.read_plan(klass, [], ch[at : at + wave_cap])
+                t += device.read_plan(
+                    klass, [], ch[at : at + wave_cap],
+                    scattered_devices=None if dv is None else dv[at : at + wave_cap],
+                )
                 outcome.waves += 1
             times[klass] = t
         return times
@@ -244,7 +292,7 @@ class IOPlan:
         outcome.times = self._dispatch(self._demand, outcome)
         if self._readahead:
             ra_demand = [
-                (KLASS_READAHEAD, int(f.channel_offset), ids)
+                (KLASS_READAHEAD, int(f.channel_offset), ids, f.devices_of(ids))
                 for f, ids in self._readahead
             ]
             ra_outcome = PlanOutcome()  # keep demand tallies separate

@@ -20,6 +20,12 @@ depend on access *order*.  All engines drive the cache from the
 accounting thread only (MultiLogVC forces ``pipeline_depth=0`` when a
 cache is attached), which makes hit/miss sequences -- and therefore
 stats and traces -- reproducible run over run.
+
+The cache is device-array-agnostic (DESIGN.md §14): keys are
+*(file name, page id)*, placement never enters the eviction state, so
+hit/miss sequences -- and therefore canonical charging -- are identical
+at any ``num_devices``.  Only the *missed* pages reach the device, and
+they carry their device ids from the file layer.
 """
 
 from __future__ import annotations

@@ -57,6 +57,10 @@ TRACE_KINDS = frozenset(
         # superstep I/O planner (DESIGN.md §13): one event per superstep
         # when ``io_plan != "off"``, carrying run-cumulative counters
         "io_plan_stats",
+        # multi-SSD device array (DESIGN.md §14): one event per superstep
+        # when ``num_devices > 1``, carrying run-cumulative overlay
+        # counters (per-device busy clocks, serial-vs-array time)
+        "device_stats",
         # recovery subsystem
         "checkpoint_write",
         "recovery_load",

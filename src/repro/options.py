@@ -25,7 +25,7 @@ import dataclasses
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, FrozenSet, Optional
 
-from .config import IO_PLAN_MODES
+from .config import IO_PLAN_MODES, PLACEMENTS
 from .errors import EngineError
 
 if TYPE_CHECKING:  # circular-import guard; only for annotations
@@ -99,6 +99,17 @@ class EngineOptions:
     readahead_pages:
         Per-superstep page budget for the planner's read-ahead;
         ``None`` inherits the config's ``readahead_pages``.
+    num_devices:
+        Size of the simulated SSD device array (DESIGN.md §14).
+        ``None`` (default) inherits the config's ``num_devices``;
+        values, records and semantic traces are bit-identical at any
+        count -- only the ``device.*`` overlay accounting changes.
+    placement:
+        Device-array placement policy: ``None`` (default) inherits the
+        config's ``placement``; ``"stripe"`` round-robins
+        channel-intersperse cycles across devices; ``"affinity"``
+        additionally pins interval-affine logs whole to
+        ``interval % num_devices``.
     recompute:
         Streaming-update recompute policy (DESIGN.md §12), consumed by
         :class:`~repro.stream.StreamSession` -- not by the engines
@@ -125,6 +136,8 @@ class EngineOptions:
     num_workers: Optional[int] = None
     io_plan: Optional[str] = None
     readahead_pages: Optional[int] = None
+    num_devices: Optional[int] = None
+    placement: Optional[str] = None
     recompute: str = "auto"
 
     def replace(self, **changes) -> "EngineOptions":
@@ -168,6 +181,12 @@ class EngineOptions:
                 "cache_policy/cache_bytes cannot be combined with an explicit fs; "
                 "enable the cache on the SimConfig the fs was built from instead"
             )
+        if fs is not None and (self.num_devices is not None or self.placement is not None):
+            raise EngineError(
+                "num_devices/placement cannot be combined with an explicit fs; "
+                "the device array is constructed by SimFS from its config -- set "
+                "them on the SimConfig the fs was built from instead"
+            )
         if self.mode not in ("sync", "async"):
             raise EngineError(f"mode must be 'sync' or 'async', got {self.mode!r}")
         if self.merge_fanout < 2:
@@ -196,6 +215,12 @@ class EngineOptions:
             )
         if self.readahead_pages is not None and self.readahead_pages < 0:
             raise EngineError("readahead_pages must be non-negative")
+        if self.num_devices is not None and self.num_devices < 1:
+            raise EngineError("num_devices must be >= 1")
+        if self.placement is not None and self.placement not in PLACEMENTS:
+            raise EngineError(
+                f"placement must be one of {PLACEMENTS}, got {self.placement!r}"
+            )
         if self.recompute not in ("auto", "incremental", "full"):
             raise EngineError(
                 f"recompute must be 'auto', 'incremental' or 'full', got {self.recompute!r}"
@@ -212,6 +237,11 @@ _CACHE_OPTIONS = frozenset({"cache_policy", "cache_bytes"})
 #: per-path batches.
 _IO_PLAN_OPTIONS = frozenset({"io_plan", "readahead_pages"})
 
+#: The device array (DESIGN.md §14) lives below the file layer, so like
+#: the cache its knobs apply to every out-of-core engine; the in-memory
+#: oracle performs no simulated I/O and is excluded.
+_DEVICE_OPTIONS = frozenset({"num_devices", "placement"})
+
 #: Which :class:`EngineOptions` fields each engine consumes.
 RELEVANT_OPTIONS: Dict[str, FrozenSet[str]] = {
     "multilogvc": frozenset(
@@ -227,13 +257,14 @@ RELEVANT_OPTIONS: Dict[str, FrozenSet[str]] = {
         }
     )
     | _CACHE_OPTIONS
-    | _IO_PLAN_OPTIONS,
-    "graphchi": _CACHE_OPTIONS,
+    | _IO_PLAN_OPTIONS
+    | _DEVICE_OPTIONS,
+    "graphchi": _CACHE_OPTIONS | _DEVICE_OPTIONS,
     # The in-memory golden oracle (repro.verify) has no tuning knobs.
     "oracle": frozenset(),
-    "grafboost": frozenset({"adapted", "merge_fanout"}) | _CACHE_OPTIONS,
-    "gridgraph": frozenset({"intervals", "grid_p"}) | _CACHE_OPTIONS,
-    "xstream": frozenset({"intervals", "grid_p"}) | _CACHE_OPTIONS,
+    "grafboost": frozenset({"adapted", "merge_fanout"}) | _CACHE_OPTIONS | _DEVICE_OPTIONS,
+    "gridgraph": frozenset({"intervals", "grid_p"}) | _CACHE_OPTIONS | _DEVICE_OPTIONS,
+    "xstream": frozenset({"intervals", "grid_p"}) | _CACHE_OPTIONS | _DEVICE_OPTIONS,
 }
 
 
@@ -262,6 +293,13 @@ def apply_config_options(
             options.io_plan if options.io_plan is not None else config.io_plan,
             readahead_pages=options.readahead_pages,
         )
+    if options.num_devices is not None or options.placement is not None:
+        if fs is not None:
+            raise EngineError(
+                "num_devices/placement cannot be combined with an explicit fs; "
+                "set them on the SimConfig the fs was built from instead"
+            )
+        config = config.with_devices(options.num_devices, options.placement)
     return config
 
 

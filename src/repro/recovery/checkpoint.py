@@ -113,6 +113,9 @@ class CheckpointData:
     #: reported in the run_resume event, ignored by reconciliation.
     recovery_read_pages: int = 0
     recovery_read_time_us: float = 0.0
+    #: Device-array overlay snapshot at the cut (DESIGN.md §14);
+    #: ``None`` when the run used a single device.
+    device_state: Optional[Dict[str, Any]] = None
     _extra: Dict[str, Any] = field(default_factory=dict)
 
     # -- engine-compatibility gate ------------------------------------------
@@ -259,8 +262,10 @@ class CheckpointManager:
         # leaves an empty commit file (checkpoint invalid), and the
         # snapshot stored on the commit page reflects the checkpoint's
         # own complete write cost -- see the module docstring.
+        commit_page = np.array([0], dtype=np.int64)
         t_commit = self.fs.device.write_batch(
-            commit_file.channels_of(np.array([0], dtype=np.int64)), KLASS_CKPT
+            commit_file.channels_of(commit_page), KLASS_CKPT,
+            devices=commit_file.devices_of(commit_page),
         )
         commit = {
             "ckpt_id": cid,
@@ -271,6 +276,11 @@ class CheckpointManager:
             "n_pages": len(chunks),
             "stats": self.fs.stats.snapshot(),
             "meter_time_us": meter.time_us,
+            # Device-array overlay clocks at the cut (None on a single
+            # device); captured with the stats snapshot, after the
+            # commit-page charge, so they include the checkpoint's own
+            # write cost (DESIGN.md §14).
+            "device_state": self.fs.device.overlay_state(),
         }
         commit_file.append_page(commit, useful_bytes=len(blob) % page_size, charge=False)
 
@@ -347,6 +357,7 @@ class CheckpointManager:
                 checkpoint_mode=state["checkpoint_mode"],
                 recovery_read_pages=read_pages,
                 recovery_read_time_us=read_time,
+                device_state=commit.get("device_state"),
             )
         detail = f" ({'; '.join(errors)})" if errors else ""
         raise RecoveryError(f"no valid checkpoint named {name!r} found{detail}")

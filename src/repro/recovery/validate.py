@@ -43,6 +43,9 @@ from .checkpoint import CheckpointData, CheckpointManager
 #: ``io_plan_stats`` carries the I/O planner's run-cumulative tallies
 #: (DESIGN.md §13), which likewise embed pre-cut history a resumed run
 #: never saw; the planned charges themselves reconcile exactly.
+#: ``device_stats`` carries the device array's run-cumulative overlay
+#: clocks (DESIGN.md §14); the canonical charges they annotate
+#: reconcile exactly at any device count.
 NON_RECONCILED_KINDS = frozenset(
     {
         "run_begin",
@@ -51,6 +54,7 @@ NON_RECONCILED_KINDS = frozenset(
         "cache_stats",
         "parallel_stats",
         "io_plan_stats",
+        "device_stats",
     }
 )
 

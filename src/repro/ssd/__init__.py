@@ -12,6 +12,7 @@ simulate power loss; the device retries transient errors with backoff
 and degrades channels that keep faulting.  See DESIGN.md §8.
 """
 
+from .array import DeviceArray
 from .device import SimulatedSSD
 from .faults import FAULT_KINDS, ChannelDegradation, FaultEvent, FaultPlan, FaultRule, RetryPolicy
 from .file import ArrayFile, PageFile, pages_for_ranges
@@ -20,6 +21,7 @@ from .stats import IOCounter, SSDStats
 
 __all__ = [
     "SimulatedSSD",
+    "DeviceArray",
     "ArrayFile",
     "PageFile",
     "pages_for_ranges",

@@ -1,0 +1,220 @@
+"""Multi-SSD device array: N simulated SSDs behind one device interface.
+
+FlashGraph processes billion-node graphs on an *array* of commodity
+SSDs: striping the graph image over N devices multiplies the achievable
+bandwidth the same way MultiLogVC's channel interspersing multiplies it
+within one device (paper §V-A3).  :class:`DeviceArray` models that one
+level up from :class:`~repro.ssd.device.SimulatedSSD`, with the same
+determinism contract the parallel executor established (DESIGN.md §11):
+
+* **Canonical accounting is untouched.**  Every read/write still charges
+  the single-device batch time into the one global
+  :class:`~repro.ssd.stats.SSDStats`, so values, ``SuperstepRecord``s,
+  per-class page counts and semantic traces are bit-identical for any
+  ``num_devices`` -- ``num_devices=1`` *is* today's behaviour.
+* **The array win is an overlay.**  Each charge also carries a
+  per-device time vector (the same ``_batch_time_from_counts`` formula
+  applied to each device's share of the batch; every member device has
+  the full ``C`` channels).  The overlay accumulates per-device busy
+  clocks and a serial-vs-array time pair at the canonical commit point,
+  so it is worker-count- and pipeline-depth-invariant too.  It surfaces
+  via ``device.*`` gauges and the per-superstep ``device_stats`` trace
+  kind (excluded from crash/resume reconciliation, like
+  ``parallel_stats``), and the saving is guaranteed non-negative:
+  each device's channel histogram is dominated by the full batch's, so
+  the max over devices never exceeds the single-device batch time.
+
+Placement is deterministic and derived, never stored:
+
+* ``"stripe"``: device ``((page // C) + channel_offset) % N`` -- one
+  channel-intersperse cycle per device, so extents stay sequential on
+  each device and the base follows the file's channel offset, which the
+  checkpoint already records (resume restores placement for free).
+* ``"affinity"`` (the default): files created with an interval-affinity
+  hint (multi-log interval logs, stream update/delta logs) land whole on
+  device ``interval % N`` so each log stays sequential on one device;
+  everything else (CSR images, edge log, checkpoints) stripes as above.
+
+Unattributed operations (direct ``sequential_*`` convenience calls,
+zero-page retry records) bill overlay device 0 by convention.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..config import SimConfig
+from ..obs.metrics import MetricsRegistry
+from .device import SimulatedSSD
+
+
+class DeviceArray(SimulatedSSD):
+    """N independent simulated SSDs presenting the single-SSD interface."""
+
+    def __init__(self, config: SimConfig) -> None:
+        super().__init__(config)
+        self.num_devices = int(config.num_devices)
+        self.placement = config.placement
+        #: Overlay state (run-cumulative, monotonically non-decreasing).
+        self._dev_busy_us = np.zeros(self.num_devices, dtype=np.float64)
+        self.dev_ops = 0
+        self.serial_us = 0.0
+        self.array_us = 0.0
+
+    # -- placement --------------------------------------------------------
+
+    def place(
+        self,
+        page_ids: np.ndarray,
+        channel_offset: int,
+        affinity: Optional[int] = None,
+    ) -> np.ndarray:
+        """Device id per page for a file at ``channel_offset``.
+
+        Pure function of ``(page, channel_offset, affinity)``: a file
+        adopted at its recorded offset (and affinity) after a crash
+        places exactly as in the uninterrupted run.
+        """
+        ids = np.asarray(page_ids, dtype=np.int64)
+        if affinity is not None and self.placement == "affinity":
+            return np.full(ids.shape, int(affinity) % self.num_devices, dtype=np.int64)
+        base = int(channel_offset) % self.num_devices
+        return ((ids // self._channels) + base) % self.num_devices
+
+    # -- overlay accumulation ---------------------------------------------
+
+    def _note_device_times(self, t: float, dev_times: Optional[np.ndarray]) -> None:
+        self.dev_ops += 1
+        self.serial_us += float(t)
+        if dev_times is None:
+            self._dev_busy_us[0] += float(t)
+            self.array_us += float(t)
+        else:
+            self._dev_busy_us += dev_times
+            self.array_us += float(dev_times.max())
+
+    def _device_read_times(
+        self, channel_ids: np.ndarray, devices: Optional[np.ndarray]
+    ) -> Optional[np.ndarray]:
+        if devices is None:
+            return None
+        dv = np.asarray(devices, dtype=np.int64)
+        lat = self.config.ssd.read_latency_us
+        times = np.zeros(self.num_devices, dtype=np.float64)
+        for d in np.unique(dv):
+            counts = np.bincount(channel_ids[dv == d], minlength=self._channels)
+            times[d] = self._batch_time_from_counts(counts, lat, read=True)
+        return times
+
+    def _plan_device_times(
+        self,
+        extents: Sequence[Tuple[int, int]],
+        scattered: np.ndarray,
+        extent_devices,
+        scattered_devices,
+    ) -> Optional[np.ndarray]:
+        counts = np.zeros((self.num_devices, self._channels), dtype=np.int64)
+        if scattered.size:
+            if scattered_devices is None:
+                counts[0] += np.bincount(scattered, minlength=self._channels)
+            else:
+                np.add.at(
+                    counts,
+                    (np.asarray(scattered_devices, dtype=np.int64), scattered),
+                    1,
+                )
+        for i, (start_channel, n_pages) in enumerate(extents):
+            ch = (np.arange(int(n_pages), dtype=np.int64) + int(start_channel)) % self._channels
+            dv = extent_devices[i] if extent_devices is not None else None
+            if dv is None:
+                counts[0] += np.bincount(ch, minlength=self._channels)
+            else:
+                np.add.at(counts, (np.asarray(dv, dtype=np.int64), ch), 1)
+        lat = self.config.ssd.read_latency_us
+        times = np.zeros(self.num_devices, dtype=np.float64)
+        for d in range(self.num_devices):
+            if counts[d].any():
+                times[d] = self._batch_time_from_counts(counts[d], lat, read=True)
+        return times
+
+    def _device_write_times(
+        self, devices: Optional[np.ndarray], n_pages: int
+    ) -> Optional[np.ndarray]:
+        if devices is None:
+            return None
+        per_dev = np.bincount(
+            np.asarray(devices, dtype=np.int64), minlength=self.num_devices
+        )
+        times = np.zeros(self.num_devices, dtype=np.float64)
+        for d in np.flatnonzero(per_dev):
+            times[d] = self._write_time(int(per_dev[d]))
+        return times
+
+    # -- reporting --------------------------------------------------------
+
+    @property
+    def saved_us(self) -> float:
+        """Simulated time the array saved vs charging one device serially."""
+        return max(0.0, self.serial_us - self.array_us)
+
+    @property
+    def device_busy_us(self) -> np.ndarray:
+        """Per-device cumulative busy clocks (overlay, read-only copy)."""
+        return self._dev_busy_us.copy()
+
+    def device_snapshot(self) -> dict:
+        """The ``device_stats`` trace payload (cumulative counters)."""
+        return {
+            "devices": int(self.num_devices),
+            "placement": self.placement,
+            "ops": int(self.dev_ops),
+            "serial_us": float(self.serial_us),
+            "array_us": float(self.array_us),
+            "saved_us": float(self.saved_us),
+            "busy_us": [float(x) for x in self._dev_busy_us],
+        }
+
+    def register_metrics(self, metrics: MetricsRegistry) -> None:
+        metrics.gauge("device.devices", lambda: self.num_devices)
+        metrics.gauge("device.ops", lambda: self.dev_ops)
+        metrics.gauge("device.serial_us", lambda: self.serial_us)
+        metrics.gauge("device.array_us", lambda: self.array_us)
+        metrics.gauge("device.saved_us", lambda: self.saved_us)
+        metrics.gauge("device.busy_max_us", lambda: float(self._dev_busy_us.max()))
+
+    # -- checkpoint/resume ------------------------------------------------
+
+    def overlay_state(self) -> Optional[dict]:
+        """Overlay snapshot for the checkpoint commit page.
+
+        Captured at the same point as the stats snapshot, so a resumed
+        run's per-device clocks continue exactly where the checkpointed
+        run's stood.
+        """
+        return {
+            "devices": int(self.num_devices),
+            "placement": self.placement,
+            "ops": int(self.dev_ops),
+            "serial_us": float(self.serial_us),
+            "array_us": float(self.array_us),
+            "busy_us": [float(x) for x in self._dev_busy_us],
+        }
+
+    def restore_overlay(self, state: Optional[dict]) -> None:
+        if not state:
+            return
+        self.dev_ops = int(state["ops"])
+        self.serial_us = float(state["serial_us"])
+        self.array_us = float(state["array_us"])
+        busy = np.asarray(state["busy_us"], dtype=np.float64)
+        self._dev_busy_us = np.zeros(self.num_devices, dtype=np.float64)
+        self._dev_busy_us[: min(busy.size, self.num_devices)] = busy[: self.num_devices]
+
+    def reset_stats(self) -> None:
+        super().reset_stats()
+        self._dev_busy_us[:] = 0.0
+        self.dev_ops = 0
+        self.serial_us = 0.0
+        self.array_us = 0.0

@@ -47,6 +47,10 @@ ChannelVector = Union[np.ndarray, Sequence[int]]
 #: the parallel executor's overlap model (:func:`merge_overlap`), which
 #: needs to know which channels a speculatively prepared group kept
 #: busy.  Pre-histogram 5-tuples are still accepted everywhere.
+#: Under a :class:`~repro.ssd.array.DeviceArray` a charge may carry a
+#: 7th element: the per-device time vector the overlay accumulates at
+#: commit (DESIGN.md §14); shorter tuples mean "unattributed" and bill
+#: overlay device 0.
 ChargeOp = Tuple[bool, str, int, int, float, Optional[np.ndarray]]
 
 
@@ -84,6 +88,10 @@ class SimulatedSSD:
     accumulate time directly.
     """
 
+    #: Device-array width; the single device is a degenerate array of 1.
+    #: :class:`~repro.ssd.array.DeviceArray` sets an instance attribute.
+    num_devices: int = 1
+
     def __init__(self, config: SimConfig) -> None:
         self.config = config
         self.stats = SSDStats()
@@ -100,6 +108,9 @@ class SimulatedSSD:
         self._channel_faults = np.zeros(self._channels, dtype=np.int64)
         self._degraded_mask = np.zeros(self._channels, dtype=bool)
         self._any_degraded = False
+        #: Device-scope for the armed fault plan (``install_faults``'s
+        #: ``device=``); ``None`` means the plan sees every operation.
+        self._fault_device: Optional[int] = None
 
     # -- geometry -------------------------------------------------------
 
@@ -129,13 +140,26 @@ class SimulatedSSD:
         plan: FaultPlan,
         retry_policy: Optional[RetryPolicy] = None,
         degradation: Optional[ChannelDegradation] = None,
+        device: Optional[int] = None,
     ) -> None:
-        """Arm a :class:`~repro.ssd.faults.FaultPlan` on this device."""
+        """Arm a :class:`~repro.ssd.faults.FaultPlan` on this device.
+
+        ``device`` scopes the plan to one member of a device array: only
+        pages placed on that device are visible to the plan (an
+        operation touching none of them skips the check entirely, so its
+        op counter never advances).  Unattributed operations (checkpoint
+        commit pages, retries) count against device 0 by convention.
+        """
         self.fault_plan = plan
         if retry_policy is not None:
             self.retry_policy = retry_policy
         if degradation is not None:
             self.degradation = degradation
+        if device is not None and not 0 <= device < self.num_devices:
+            raise StorageError(
+                f"fault device scope {device} out of range [0, {self.num_devices})"
+            )
+        self._fault_device = device
 
     def clear_faults(self) -> None:
         """Disarm fault injection and heal all degraded channels."""
@@ -143,6 +167,7 @@ class SimulatedSSD:
         self._channel_faults[:] = 0
         self._degraded_mask[:] = False
         self._any_degraded = False
+        self._fault_device = None
 
     @property
     def degraded_channels(self) -> np.ndarray:
@@ -166,7 +191,13 @@ class SimulatedSSD:
                 read_latency_multiplier=self.degradation.read_latency_multiplier,
             )
 
-    def _fault_check(self, is_read: bool, klass: str, arr: np.ndarray) -> Optional[FaultEvent]:
+    def _fault_check(
+        self,
+        is_read: bool,
+        klass: str,
+        arr: np.ndarray,
+        devices: Optional[np.ndarray] = None,
+    ) -> Optional[FaultEvent]:
         """Consult the installed plan; retry transient errors in place.
 
         Returns the torn-write event (so the caller can persist the
@@ -175,10 +206,24 @@ class SimulatedSSD:
         :class:`~repro.errors.SimulatedCrashError`.  Each retry attempt
         is re-checked against the plan, charges its backoff as a 0-page
         record under the ``"retry"`` storage class, and is traced.
+
+        When the plan is device-scoped (``install_faults(device=k)``)
+        the check sees only the pages placed on device ``k``; an
+        operation touching no such page is invisible to the plan.
         """
         plan = self.fault_plan
         if plan is None:
             return None
+        if self._fault_device is not None:
+            if devices is None:
+                # Unattributed operations count against device 0.
+                if self._fault_device != 0:
+                    return None
+            else:
+                mask = np.asarray(devices, dtype=np.int64) == self._fault_device
+                if not mask.any():
+                    return None
+                arr = arr[mask]
         attempt = 0
         while True:
             ev = plan.check(is_read, klass, arr, self.now_us)
@@ -277,13 +322,19 @@ class SimulatedSSD:
 
         The channel histogram (6th element, when present) is overlap
         metadata only; recorded stats are identical with or without it.
+        The same goes for a device array's per-device time vector (7th
+        element): it feeds the array overlay via
+        :meth:`_note_device_times`, never the canonical stats.
         """
+        overlay = self.num_devices > 1
         for op in ops:
             is_read, klass, pages, nbytes, t = op[:5]
             if is_read:
                 self.stats.record_read(klass, pages, nbytes, t)
             else:
                 self.stats.record_write(klass, pages, nbytes, t)
+            if overlay:
+                self._note_device_times(t, op[6] if len(op) > 6 else None)
 
     def channel_busy_us(self, ops: List[ChargeOp]) -> np.ndarray:
         """Per-channel busy time (us) implied by a deferred-charge queue.
@@ -311,18 +362,70 @@ class SimulatedSSD:
         nbytes: int,
         t: float,
         channel_pages: Optional[np.ndarray] = None,
+        dev_times: Optional[np.ndarray] = None,
     ) -> None:
         queue = getattr(self._tls, "queue", None)
         if queue is not None:
-            queue.append((is_read, klass, pages, nbytes, t, channel_pages))
-        elif is_read:
+            if dev_times is not None:
+                queue.append((is_read, klass, pages, nbytes, t, channel_pages, dev_times))
+            else:
+                queue.append((is_read, klass, pages, nbytes, t, channel_pages))
+            return
+        if is_read:
             self.stats.record_read(klass, pages, nbytes, t)
         else:
             self.stats.record_write(klass, pages, nbytes, t)
+        if self.num_devices > 1:
+            self._note_device_times(t, dev_times)
+
+    def _note_device_times(self, t: float, dev_times: Optional[np.ndarray]) -> None:
+        """Overlay hook: fold one committed charge into per-device clocks.
+
+        No-op on the single device; :class:`~repro.ssd.array.DeviceArray`
+        overrides it.  Called at the canonical commit point only, so the
+        overlay is worker-count- and pipeline-depth-invariant.
+        """
+
+    # -- device-array hooks (None on the single device) -------------------
+
+    def _device_read_times(
+        self, channel_ids: np.ndarray, devices: Optional[np.ndarray]
+    ) -> Optional[np.ndarray]:
+        """Per-device time vector for a scattered read batch."""
+        return None
+
+    def _plan_device_times(
+        self,
+        extents: Sequence[Tuple[int, int]],
+        scattered: np.ndarray,
+        extent_devices,
+        scattered_devices,
+    ) -> Optional[np.ndarray]:
+        """Per-device time vector for a plan-commit read."""
+        return None
+
+    def _device_write_times(
+        self, devices: Optional[np.ndarray], n_pages: int
+    ) -> Optional[np.ndarray]:
+        """Per-device time vector for a write batch."""
+        return None
+
+    def overlay_state(self) -> Optional[dict]:
+        """Checkpointable device-array overlay; None on the single device."""
+        return None
+
+    def restore_overlay(self, state: Optional[dict]) -> None:
+        """Restore a checkpointed overlay; no-op on the single device."""
 
     # -- I/O -------------------------------------------------------------
 
-    def read_batch(self, channel_ids: ChannelVector, klass: str, useful_bytes: Optional[int] = None) -> float:
+    def read_batch(
+        self,
+        channel_ids: ChannelVector,
+        klass: str,
+        useful_bytes: Optional[int] = None,
+        devices: Optional[np.ndarray] = None,
+    ) -> float:
         """Charge a batch of page reads.
 
         Parameters
@@ -336,6 +439,10 @@ class SimulatedSSD:
         useful_bytes:
             Ignored for timing; reserved for callers that track read
             amplification themselves.
+        devices:
+            Per-page device placement, aligned with ``channel_ids``.
+            Ignored on the single device; a device array derives its
+            overlay clocks and fault scoping from it.
 
         Returns
         -------
@@ -347,10 +454,13 @@ class SimulatedSSD:
         if arr.size == 0:
             return 0.0
         if self.fault_plan is not None:
-            self._fault_check(True, klass, arr)  # torn cannot fire on reads
+            self._fault_check(True, klass, arr, devices=devices)  # torn cannot fire on reads
         counts = np.bincount(arr, minlength=self._channels)
         t = self._batch_time_from_counts(counts, self.config.ssd.read_latency_us, read=True)
-        self._charge(True, klass, int(arr.size), int(arr.size) * self._page_size, t, counts)
+        dev_times = (
+            self._device_read_times(arr, devices) if self.num_devices > 1 else None
+        )
+        self._charge(True, klass, int(arr.size), int(arr.size) * self._page_size, t, counts, dev_times)
         return t
 
     def read_batch_time(self, channel_ids: ChannelVector) -> float:
@@ -384,20 +494,33 @@ class SimulatedSSD:
         counts[extra] += 1
         return counts
 
-    def read_extent(self, start_channel: int, n_pages: int, klass: str) -> float:
+    def read_extent(
+        self,
+        start_channel: int,
+        n_pages: int,
+        klass: str,
+        devices: Optional[np.ndarray] = None,
+    ) -> float:
         """Charge one contiguous extent read as a single batch.
 
         Equivalent to :meth:`read_batch` over the extent's interspersed
         channel vector, without materialising it: the sequential path of
         the I/O planner's coalescing stage.
         """
-        return self.read_plan(klass, [(int(start_channel), int(n_pages))], ())
+        return self.read_plan(
+            klass,
+            [(int(start_channel), int(n_pages))],
+            (),
+            extent_devices=None if devices is None else [devices],
+        )
 
     def read_plan(
         self,
         klass: str,
         extents: Sequence[Tuple[int, int]],
         scattered_channels: ChannelVector,
+        extent_devices=None,
+        scattered_devices: Optional[np.ndarray] = None,
     ) -> float:
         """Plan-commit read: extents + one scattered wave, one submission.
 
@@ -427,12 +550,39 @@ class SimulatedSSD:
                     (np.arange(int(n_pages), dtype=np.int64) + int(start_channel))
                     % self._channels
                 )
-            self._fault_check(True, klass, np.concatenate(expanded))
+            expanded_devices = None
+            if extent_devices is not None or scattered_devices is not None:
+                dev_parts = [
+                    scattered_devices
+                    if scattered_devices is not None
+                    else np.zeros(scattered.size, dtype=np.int64)
+                ]
+                for i, (_, n_pages) in enumerate(extents):
+                    dv = extent_devices[i] if extent_devices is not None else None
+                    dev_parts.append(
+                        np.asarray(dv, dtype=np.int64)
+                        if dv is not None
+                        else np.zeros(int(n_pages), dtype=np.int64)
+                    )
+                expanded_devices = np.concatenate(dev_parts)
+            self._fault_check(
+                True, klass, np.concatenate(expanded), devices=expanded_devices
+            )
         t = self._batch_time_from_counts(counts, self.config.ssd.read_latency_us, read=True)
-        self._charge(True, klass, pages, pages * self._page_size, t, counts)
+        dev_times = (
+            self._plan_device_times(extents, scattered, extent_devices, scattered_devices)
+            if self.num_devices > 1
+            else None
+        )
+        self._charge(True, klass, pages, pages * self._page_size, t, counts, dev_times)
         return t
 
-    def write_batch(self, channel_ids: ChannelVector, klass: str) -> float:
+    def write_batch(
+        self,
+        channel_ids: ChannelVector,
+        klass: str,
+        devices: Optional[np.ndarray] = None,
+    ) -> float:
         """Charge a batch of page writes.
 
         Unlike reads, writes are **not** bound to the channel implied by
@@ -440,19 +590,31 @@ class SimulatedSSD:
         written page dynamically on any free channel (that is precisely
         how SSDs absorb write bursts), so a batch of ``P`` pages stripes
         optimally as ``ceil(P / C)`` per channel.  The channel vector is
-        still validated and its length gives the page count.
+        still validated and its length gives the page count.  ``devices``
+        (per-page placement, for a device array's overlay and fault
+        scoping) is ignored on the single device.
         """
         arr = self._coerce(channel_ids)
         if arr.size == 0:
             return 0.0
         n_pages = int(arr.size)
         if self.fault_plan is not None:
-            ev = self._fault_check(False, klass, arr)
+            ev = self._fault_check(False, klass, arr, devices=devices)
             if ev is not None:  # torn write: a strict prefix persists
                 persisted = min(ev.pages_persisted, n_pages - 1)
                 if persisted > 0:
                     t = self._write_time(persisted)
-                    self._charge(False, klass, persisted, persisted * self._page_size, t)
+                    dev_t = (
+                        self._device_write_times(
+                            None if devices is None else devices[:persisted], persisted
+                        )
+                        if self.num_devices > 1
+                        else None
+                    )
+                    self._charge(
+                        False, klass, persisted, persisted * self._page_size, t,
+                        dev_times=dev_t,
+                    )
                 self.tracer.emit(
                     "fault_torn",
                     op="write",
@@ -467,7 +629,10 @@ class SimulatedSSD:
                     pages_persisted=max(0, persisted),
                 )
         t = self._write_time(n_pages)
-        self._charge(False, klass, n_pages, n_pages * self._page_size, t)
+        dev_times = (
+            self._device_write_times(devices, n_pages) if self.num_devices > 1 else None
+        )
+        self._charge(False, klass, n_pages, n_pages * self._page_size, t, dev_times=dev_times)
         return t
 
     def _write_time(self, n_pages: int) -> float:

@@ -33,11 +33,23 @@ from .device import SimulatedSSD
 class SimFileBase:
     """Common naming/channel logic for simulated files."""
 
-    def __init__(self, device: SimulatedSSD, name: str, klass: str, channel_offset: int = 0) -> None:
+    def __init__(
+        self,
+        device: SimulatedSSD,
+        name: str,
+        klass: str,
+        channel_offset: int = 0,
+        device_affinity: Optional[int] = None,
+    ) -> None:
         self.device = device
         self.name = name
         self.klass = klass
         self.channel_offset = channel_offset % device.channels
+        #: Interval-affinity placement hint for a device array
+        #: (DESIGN.md §14): under the ``"affinity"`` policy this file
+        #: lands whole on device ``device_affinity % N``.  ``None`` (and
+        #: any hint under ``"stripe"``) means round-robin striping.
+        self.device_affinity = device_affinity
         #: DRAM page cache, attached by :class:`~repro.ssd.filesystem.SimFS`
         #: at registration for cacheable storage classes (DESIGN.md §10).
         self.cache: Optional[PageCache] = None
@@ -45,6 +57,16 @@ class SimFileBase:
     def channels_of(self, page_ids: np.ndarray) -> np.ndarray:
         """Channel id for each page index of this file."""
         return (np.asarray(page_ids, dtype=np.int64) + self.channel_offset) % self.device.channels
+
+    def devices_of(self, page_ids: np.ndarray) -> Optional[np.ndarray]:
+        """Device id for each page index; ``None`` on a single device.
+
+        The ``None`` fast path keeps the default configuration's hot
+        loops free of any device-array work.
+        """
+        if self.device.num_devices <= 1:
+            return None
+        return self.device.place(page_ids, self.channel_offset, self.device_affinity)
 
     def _charge_read(self, page_ids: np.ndarray, klass: Optional[str] = None, plan=None) -> float:
         """Charge a page-read batch, serving cache hits from DRAM.
@@ -67,7 +89,9 @@ class SimFileBase:
         cache = self.cache
         if cache is not None and ids.size:
             ids = ids[cache.access(self.name, ids)]
-        return self.device.read_batch(self.channels_of(ids), klass or self.klass)
+        return self.device.read_batch(
+            self.channels_of(ids), klass or self.klass, devices=self.devices_of(ids)
+        )
 
     def _admit_written(self, page_ids: np.ndarray) -> None:
         """Write-allocate freshly written pages (write-through charging).
@@ -88,8 +112,15 @@ class PageFile(SimFileBase):
     of useful bytes, used for write-amplification accounting.
     """
 
-    def __init__(self, device: SimulatedSSD, name: str, klass: str, channel_offset: int = 0) -> None:
-        super().__init__(device, name, klass, channel_offset)
+    def __init__(
+        self,
+        device: SimulatedSSD,
+        name: str,
+        klass: str,
+        channel_offset: int = 0,
+        device_affinity: Optional[int] = None,
+    ) -> None:
+        super().__init__(device, name, klass, channel_offset, device_affinity)
         self._payloads: List[Any] = []
         self._useful: List[int] = []
 
@@ -102,8 +133,11 @@ class PageFile(SimFileBase):
         self._useful.append(self.device.page_size if useful_bytes is None else int(useful_bytes))
         t = 0.0
         if charge:
+            one = np.array([page_id], dtype=np.int64)
             try:
-                t = self.device.write_batch(self.channels_of(np.array([page_id])), self.klass)
+                t = self.device.write_batch(
+                    self.channels_of(one), self.klass, devices=self.devices_of(one)
+                )
             except SimulatedCrashError:
                 # Torn write: the single page did not survive the power cut.
                 del self._payloads[page_id:]
@@ -132,7 +166,9 @@ class PageFile(SimFileBase):
             self._admit_written(ids)
             return ids, 0.0
         try:
-            t = self.device.write_batch(self.channels_of(ids), self.klass)
+            t = self.device.write_batch(
+                self.channels_of(ids), self.klass, devices=self.devices_of(ids)
+            )
         except SimulatedCrashError as crash:
             # Torn write: only the first pages_persisted pages of this
             # batch made it to flash.  Keep that strict prefix so
@@ -279,8 +315,9 @@ class ArrayFile(SimFileBase):
         array: np.ndarray,
         entry_bytes: int,
         channel_offset: int = 0,
+        device_affinity: Optional[int] = None,
     ) -> None:
-        super().__init__(device, name, klass, channel_offset)
+        super().__init__(device, name, klass, channel_offset, device_affinity)
         if entry_bytes <= 0:
             raise StorageError("entry_bytes must be positive")
         if entry_bytes > device.page_size:
@@ -323,7 +360,9 @@ class ArrayFile(SimFileBase):
     def write_ranges(self, starts: np.ndarray, stops: np.ndarray, klass: Optional[str] = None) -> Tuple[float, np.ndarray]:
         """Charge writes for the pages covering the given entry ranges."""
         pages, _ = self.pages_for(starts, stops)
-        t = self.device.write_batch(self.channels_of(pages), klass or self.klass)
+        t = self.device.write_batch(
+            self.channels_of(pages), klass or self.klass, devices=self.devices_of(pages)
+        )
         self._admit_written(pages)
         return t, pages
 
@@ -335,6 +374,8 @@ class ArrayFile(SimFileBase):
     def write_all(self, klass: Optional[str] = None) -> float:
         """Charge a sequential write of the whole file."""
         ids = np.arange(self.n_pages, dtype=np.int64)
-        t = self.device.write_batch(self.channels_of(ids), klass or self.klass)
+        t = self.device.write_batch(
+            self.channels_of(ids), klass or self.klass, devices=self.devices_of(ids)
+        )
         self._admit_written(ids)
         return t

@@ -22,18 +22,19 @@ import numpy as np
 from ..config import SimConfig
 from ..errors import StorageError
 from ..mem.pagecache import UNCACHED_KLASSES, PageCache
+from .array import DeviceArray
 from .device import SimulatedSSD
 from .file import ArrayFile, PageFile, SimFileBase
 
 
 class SimFS:
-    """Flat namespace of simulated files on one simulated SSD."""
+    """Flat namespace of simulated files on one simulated SSD (or array)."""
 
     def __init__(self, config: Optional[SimConfig] = None, device: Optional[SimulatedSSD] = None) -> None:
         if device is None:
             if config is None:
                 raise StorageError("SimFS needs a config or an existing device")
-            device = SimulatedSSD(config)
+            device = DeviceArray(config) if config.num_devices > 1 else SimulatedSSD(config)
         self.device = device
         self.config = device.config
         self._files: Dict[str, SimFileBase] = {}
@@ -63,13 +64,34 @@ class SimFS:
                 f.cache = self.cache
         self._files[f.name] = f
 
-    def create_page_file(self, name: str, klass: str, overwrite: bool = False) -> PageFile:
-        """Create an append-only page log."""
-        f = PageFile(self.device, name, klass, channel_offset=self._allocate_offset())
+    def create_page_file(
+        self,
+        name: str,
+        klass: str,
+        overwrite: bool = False,
+        affinity: Optional[int] = None,
+    ) -> PageFile:
+        """Create an append-only page log.
+
+        ``affinity`` is the interval-affinity placement hint for a
+        device array (DESIGN.md §14): under the ``"affinity"`` policy
+        the file lands whole on device ``affinity % num_devices``.  On a
+        single device, or under ``"stripe"``, the hint is inert.
+        """
+        f = PageFile(
+            self.device, name, klass,
+            channel_offset=self._allocate_offset(), device_affinity=affinity,
+        )
         self._register(f, overwrite)
         return f
 
-    def adopt_page_file(self, name: str, klass: str, channel_offset: int) -> PageFile:
+    def adopt_page_file(
+        self,
+        name: str,
+        klass: str,
+        channel_offset: int,
+        affinity: Optional[int] = None,
+    ) -> PageFile:
         """Recreate a page file at a *recorded* channel offset.
 
         Recovery uses this to rebuild multi-log / edge-log files on a
@@ -78,8 +100,13 @@ class SimFS:
         ``_next_offset`` is restored separately via
         :attr:`next_channel_offset`, so files created after the resume
         point land on the same channels as in an uninterrupted run.
+        Callers that created the file with an ``affinity`` hint pass the
+        same hint here so device-array placement is restored too.
         """
-        f = PageFile(self.device, name, klass, channel_offset=channel_offset)
+        f = PageFile(
+            self.device, name, klass,
+            channel_offset=channel_offset, device_affinity=affinity,
+        )
         self._register(f, overwrite=True)
         return f
 
@@ -99,9 +126,13 @@ class SimFS:
         array: np.ndarray,
         entry_bytes: int,
         overwrite: bool = False,
+        affinity: Optional[int] = None,
     ) -> ArrayFile:
         """Create a fixed-entry-size array-backed file."""
-        f = ArrayFile(self.device, name, klass, array, entry_bytes, channel_offset=self._allocate_offset())
+        f = ArrayFile(
+            self.device, name, klass, array, entry_bytes,
+            channel_offset=self._allocate_offset(), device_affinity=affinity,
+        )
         self._register(f, overwrite)
         return f
 

@@ -137,7 +137,9 @@ class StreamStore:
                 self._val_files.append(
                     fs.create_array_file(f"{name}.i{i}.val", KLASS_VAL, val, rec.weight_bytes)
                 )
-            self._delta_files.append(fs.create_page_file(f"{name}.i{i}.delta", KLASS_DELTA))
+            self._delta_files.append(
+                fs.create_page_file(f"{name}.i{i}.delta", KLASS_DELTA, affinity=i)
+            )
             self._index.append(_IntervalIndex(base_alive=np.ones(col.size, dtype=bool)))
         self._meta = fs.create_page_file(f"{name}.meta", KLASS_META)
         self.ulog = UpdateLog(fs, intervals, config, name=f"{name}.ulog")

@@ -46,8 +46,10 @@ class UpdateLog:
         self.config = config
         self.name = name
         self.records_per_page = max(1, config.ssd.page_size // RECORD_BYTES)
+        # affinity=i: under a device array's "affinity" placement each
+        # interval's update log lands whole on one device (DESIGN.md §14).
         self.files = [
-            fs.create_page_file(f"{name}.i{i}", KLASS_ULOG)
+            fs.create_page_file(f"{name}.i{i}", KLASS_ULOG, affinity=i)
             for i in range(intervals.n_intervals)
         ]
 

@@ -247,6 +247,8 @@ def build_config(cdict: Dict[str, Any]) -> SimConfig:
         cache_bytes=None if cache_bytes is None else int(cache_bytes),
         io_plan=str(cdict.get("io_plan", "off")),
         readahead_pages=int(cdict.get("readahead_pages", 64)),
+        num_devices=int(cdict.get("num_devices", 1)),
+        placement=str(cdict.get("placement", "affinity")),
     )
 
 
@@ -461,6 +463,13 @@ def _config_dict(rng: np.random.Generator) -> Dict[str, Any]:
     if int(rng.integers(0, 3)) == 0:
         cdict["io_plan"] = str(rng.choice(["coalesce", "coalesce+readahead"]))
         cdict["readahead_pages"] = int(rng.integers(1, 65))
+    # Device-array dimension (DESIGN.md §14): a third of cases run on a
+    # multi-SSD array; canonical accounting is untouched by design, so
+    # the oracle comparison doubles as a placement-invariance check
+    # (including device counts that do not divide the page count).
+    if int(rng.integers(0, 3)) == 0:
+        cdict["num_devices"] = int(rng.choice([2, 3, 4]))
+        cdict["placement"] = str(rng.choice(["stripe", "affinity"]))
     return cdict
 
 

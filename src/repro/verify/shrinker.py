@@ -161,6 +161,18 @@ def shrink(
         cand = replace(current, options=opts)
         if check(cand):
             current = cand
+    # Optional config-dict dimensions (cache, planner, workers, device
+    # array) reduce to their defaults the same way: a failure that
+    # persists without the knob is a simpler repro.
+    for key in (
+        "num_devices", "placement", "io_plan", "readahead_pages",
+        "cache_policy", "cache_bytes", "num_workers", "pipeline_depth",
+    ):
+        if key in current.config:
+            cfg = {k: v for k, v in current.config.items() if k != key}
+            cand = replace(current, config=cfg)
+            if check(cand):
+                current = cand
 
     # 3. ddmin the edge list (only meaningful on explicit specs).
     if current.graph["kind"] == "explicit":

@@ -252,6 +252,8 @@ NON_DEFAULT_SAMPLES = {
     "num_workers": 2,
     "io_plan": "coalesce",
     "readahead_pages": 16,
+    "num_devices": 4,
+    "placement": "stripe",
     "recompute": "full",
 }
 

@@ -280,6 +280,69 @@ def measure_parallel(scale: str, steps_scale: float, workers: int):
     return out
 
 
+def measure_devices(scale: str, steps_scale: float, devices: int):
+    """Simulated-latency comparison: one SSD vs a striped device array.
+
+    The committed accounting (values, charged pages, SSDStats) is
+    bit-identical at any device count by construction; what the array
+    buys is *device-level overlap* -- pages of a batch that land on
+    different devices serve their channel queues concurrently, so the
+    array-clock time for the batch is the max over per-device times
+    rather than the single-device total (DESIGN.md §14).  Modelled
+    storage latency on the array is ``serial_us - saved_us`` where both
+    counters come from the array's overlay.  All numbers are
+    deterministic simulation output, so they are machine-independent.
+    Returns None if any workload's array values or charged page counts
+    differ from the single-device run.
+    """
+    cfg = DEFAULT_CONFIG
+    out = {}
+    for name, graph, factory, steps in build_workloads(scale, steps_scale):
+        one = MultiLogVC(graph, factory(), cfg.with_devices(1)).run(steps, seed=0)
+        reg = MetricsRegistry()
+        arr = MultiLogVC(
+            graph, factory(), cfg.with_devices(devices, "stripe"), metrics=reg
+        ).run(steps, seed=0)
+        same = np.array_equal(
+            np.nan_to_num(one.values, posinf=-1),
+            np.nan_to_num(arr.values, posinf=-1),
+        )
+        if not same:
+            print(f"ERROR: {name}: array values differ from single device", file=sys.stderr)
+            return None
+        if int(arr.stats.pages_read) != int(one.stats.pages_read) or int(
+            arr.stats.pages_written
+        ) != int(one.stats.pages_written):
+            print(
+                f"ERROR: {name}: array changed charged page counts "
+                f"(read {one.stats.pages_read} -> {arr.stats.pages_read}, "
+                f"write {one.stats.pages_written} -> {arr.stats.pages_written})",
+                file=sys.stderr,
+            )
+            return None
+        snap = reg.snapshot()
+        serial_us = float(snap.get("device.serial_us", 0.0))
+        saved = float(snap.get("device.saved_us", 0.0))
+        array_us = float(snap.get("device.array_us", serial_us))
+        reduction = saved / serial_us if serial_us > 0 else 0.0
+        row = {
+            "devices": int(devices),
+            "serial_storage_us": round(serial_us, 1),
+            "array_storage_us": round(array_us, 1),
+            "saved_us": round(saved, 1),
+            "storage_reduction": round(reduction, 4),
+            "pages_read": int(one.stats.pages_read),
+            "pages_written": int(one.stats.pages_written),
+            "values_identical": True,
+        }
+        out[name] = row
+        print(
+            f"{name:10s} serial={serial_us:10.0f}us  D={devices}:"
+            f" {array_us:10.0f}us  saved={100 * reduction:5.1f}%"
+        )
+    return out
+
+
 def measure_stream(scale: str, delta_fraction: float = 0.005):
     """Simulated-I/O comparison: incremental vs full recompute (DESIGN.md §12).
 
@@ -462,6 +525,32 @@ def check_regression(baseline_path: str, threshold: float, repeats: int) -> int:
                 )
             if got["saved_us"] <= 0.0:
                 failed.append(f"{name}: parallel executor saved no simulated time")
+    devices_ref = committed.get("smoke", {}).get("devices")
+    if devices_ref:
+        n_devices = max(r["devices"] for r in devices_ref.values())
+        dev_now = measure_devices("test", 0.4, n_devices)
+        if dev_now is None:
+            return 1
+        for name, ref in devices_ref.items():
+            got = dev_now.get(name)
+            if got is None:
+                failed.append(f"{name}: kernel missing from device benchmark")
+                continue
+            floor = threshold * ref["storage_reduction"]
+            ok = got["storage_reduction"] >= floor and got["saved_us"] > 0.0
+            print(
+                f"{name:10s} devices: committed saved={ref['storage_reduction']:.1%}  "
+                f"measured={got['storage_reduction']:.1%}  floor={floor:.1%}  "
+                f"{'ok' if ok else 'REGRESSED'}"
+            )
+            if got["storage_reduction"] < floor:
+                failed.append(
+                    f"{name}: device-array storage reduction "
+                    f"{got['storage_reduction']:.1%} fell below {floor:.1%} "
+                    f"({threshold:.0%} of committed {ref['storage_reduction']:.1%})"
+                )
+            if got["saved_us"] <= 0.0:
+                failed.append(f"{name}: device array saved no simulated time")
     stream_ref = committed.get("smoke", {}).get("stream")
     if stream_ref:
         stream_now = measure_stream("test")
@@ -498,11 +587,12 @@ def check_regression(baseline_path: str, threshold: float, repeats: int) -> int:
     n_cache = len(cache_ref) if cache_ref else 0
     n_io = len(io_plan_ref) if io_plan_ref else 0
     n_par = len(parallel_ref) if parallel_ref else 0
+    n_dev = len(devices_ref) if devices_ref else 0
     n_stream = len(stream_ref) if stream_ref else 0
     print(
         f"benchmark gate OK ({len(reference)} kernels within {threshold:.0%} of "
-        f"reference; {n_cache} cache, {n_io} io-plan, {n_par} parallel and "
-        f"{n_stream} stream reference(s) validated)"
+        f"reference; {n_cache} cache, {n_io} io-plan, {n_par} parallel, "
+        f"{n_dev} device and {n_stream} stream reference(s) validated)"
     )
     return 0
 
@@ -545,6 +635,12 @@ def main() -> int:
              "'parallel' section)",
     )
     ap.add_argument(
+        "--devices", type=int, default=None, metavar="N",
+        help="also compare simulated storage latency on one SSD vs a striped "
+             "N-device array (deterministic; lands in the report's 'devices' "
+             "section)",
+    )
+    ap.add_argument(
         "--stream", action="store_true",
         help="also compare simulated I/O of incremental vs full recompute "
              "after a small update batch (deterministic; lands in the "
@@ -578,6 +674,12 @@ def main() -> int:
         print(f"-- parallel interval executor, {args.workers} workers (simulated latency) --")
         parallel = measure_parallel(scale, steps_scale, args.workers)
         if parallel is None:
+            return 1
+    devices = None
+    if args.devices:
+        print(f"-- device array, {args.devices} striped devices (simulated storage) --")
+        devices = measure_devices(scale, steps_scale, args.devices)
+        if devices is None:
             return 1
     stream = None
     if args.stream:
@@ -614,6 +716,9 @@ def main() -> int:
         section["io_plan_config"] = {"io_plan": "coalesce", "min_intervals": 8}
     if parallel is not None:
         section["parallel"] = parallel
+    if devices is not None:
+        section["devices"] = devices
+        section["devices_config"] = {"placement": "stripe"}
     if stream is not None:
         section["stream"] = stream
         section["stream_config"] = {

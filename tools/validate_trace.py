@@ -30,7 +30,13 @@ Checks, in order:
    counters (plans/pages/extents/waves/times) that never decrease
    within a run segment -- the superstep I/O planner's tallies are
    monotone for the run's lifetime, so a drop means planner state was
-   silently reset.
+   silently reset;
+9. ``device_stats`` events carry a valid ``placement``, ``devices >= 2``
+   (the event is only emitted on a device array), and run-cumulative
+   counters (ops/serial_us/array_us/saved_us) that never decrease
+   within a run segment -- the array's overlay clocks accumulate for
+   the run's lifetime, so a drop means overlay state was silently
+   reset.
 
 Any violation prints the offending line number and exits non-zero.
 
@@ -83,6 +89,12 @@ IO_PLAN_COUNTERS = (
 #: ``io_plan_stats`` modes the planner emits (it is never built "off").
 IO_PLAN_MODES = ("coalesce", "coalesce+readahead")
 
+#: ``device_stats`` fields that must be non-decreasing within a segment.
+DEVICE_COUNTERS = ("ops", "serial_us", "array_us", "saved_us")
+
+#: ``device_stats`` placements the device array emits.
+DEVICE_PLACEMENTS = ("stripe", "affinity")
+
 
 def validate_file(path: Path) -> list:
     """Return a list of violation strings for one trace file."""
@@ -91,6 +103,7 @@ def validate_file(path: Path) -> list:
     last_cache = None
     last_parallel = None
     last_io_plan = None
+    last_device = None
     last_seq = None
     segment_start = 0
     n_events = 0
@@ -132,6 +145,7 @@ def validate_file(path: Path) -> list:
             last_cache = None
             last_parallel = None
             last_io_plan = None
+            last_device = None
             last_seq = None
             segment_start = lineno
             n_segments += 1
@@ -194,6 +208,33 @@ def validate_file(path: Path) -> list:
                         f"line {segment_start}"
                     )
             last_io_plan = ev
+        if kind == "device_stats":
+            if ev.get("placement") not in DEVICE_PLACEMENTS:
+                errors.append(
+                    f"{path}:{lineno}: device_stats placement must be one of "
+                    f"{DEVICE_PLACEMENTS}, got {ev.get('placement')!r}"
+                )
+            devices = ev.get("devices")
+            if not isinstance(devices, int) or isinstance(devices, bool) or devices < 2:
+                errors.append(
+                    f"{path}:{lineno}: device_stats 'devices' must be an integer "
+                    f">= 2 (the event is only emitted on an array), got {devices!r}"
+                )
+            for field in DEVICE_COUNTERS:
+                cur = ev.get(field)
+                if not isinstance(cur, (int, float)) or isinstance(cur, bool):
+                    errors.append(
+                        f"{path}:{lineno}: device_stats missing/non-numeric {field!r}"
+                    )
+                    continue
+                prev = (last_device or {}).get(field)
+                if prev is not None and cur < prev:
+                    errors.append(
+                        f"{path}:{lineno}: device counter {field!r} decreased "
+                        f"({cur} < {prev}) within the run segment starting at "
+                        f"line {segment_start}"
+                    )
+            last_device = ev
         if kind == "ingest_stats":
             if ev.get("phase") not in INGEST_PHASES:
                 errors.append(
